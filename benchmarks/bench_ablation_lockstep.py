@@ -1,0 +1,82 @@
+"""Ablation — lockstep P2P versus blockchain consensus (§9.1).
+
+Lockstep (Baughman et al.; NEO/SEA family) is the classic cheat-aware
+P2P design the paper positions against: two all-to-all phases per round
+(commit, then reveal), advancing at the slowest player's pace, with no
+semantic validation of the agreed moves.  This bench compares, per room
+size: the lockstep round latency, our event-validation latency, and
+what happens to each when one participant becomes unreachable.
+"""
+
+from helpers import all_opts_fabric, measure_validation_latency
+from repro.analysis import AsciiTable
+from repro.baselines import LockstepGame, LockstepPlayer
+from repro.core import ShimConfig
+from repro.simnet import INTERNET_US, Network, Region, TakedownAttack
+
+ROOM_SIZES = (4, 8, 16, 32)
+
+
+def lockstep_round_latency(n_players: int, seed: int = 1) -> float:
+    net = Network(profile=INTERNET_US, seed=seed)
+    regions = (Region.DALLAS, Region.SAN_JOSE, Region.TORONTO)
+    players = [
+        net.register(LockstepPlayer(f"lp{i}", regions[i % 3]))
+        for i in range(n_players)
+    ]
+    game = LockstepGame(players, rounds=5)
+    game.run(net)
+    assert game.all_agree()
+    return game.avg_round_latency_ms()
+
+
+def lockstep_rounds_with_one_down(n_players: int) -> int:
+    net = Network(profile=INTERNET_US, seed=2)
+    regions = (Region.DALLAS, Region.SAN_JOSE, Region.TORONTO)
+    players = [
+        net.register(LockstepPlayer(f"lp{i}", regions[i % 3]))
+        for i in range(n_players)
+    ]
+    game = LockstepGame(players, rounds=5)
+    TakedownAttack([players[-1].name]).apply(net)
+    for player in players:
+        player.start_round()
+    net.run(until=30_000.0)
+    return max(len(p.completed_rounds) for p in players[:-1])
+
+
+def run_comparison():
+    shim_config = ShimConfig(multithreaded=True, batching=False)
+    rows = []
+    for n in ROOM_SIZES:
+        lockstep = lockstep_round_latency(n)
+        ours = measure_validation_latency(
+            n, all_opts_fabric(), shim_config, events_per_lane=15
+        )
+        stalled_rounds = lockstep_rounds_with_one_down(n)
+        rows.append((n, lockstep, ours, stalled_rounds))
+    return rows
+
+
+def test_ablation_lockstep_comparison(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["room size", "lockstep round (ms)", "our validation (ms)",
+         "lockstep rounds w/ 1 peer down"],
+        title="Ablation §9.1: lockstep P2P vs blockchain consensus",
+    )
+    for n, lockstep, ours, stalled in rows:
+        table.row(n, f"{lockstep:.0f}", f"{ours:.0f}", stalled)
+    table.print()
+
+    for n, lockstep, ours, stalled in rows:
+        # Lockstep's fatal liveness property: one unreachable player
+        # halts every round for everyone; our consensus outvotes it.
+        assert stalled == 0, n
+        # Lockstep rounds are cheap (2 WAN phases) at small rooms…
+        assert lockstep > 60.0  # ≥ 2 one-way WAN hops
+    # …but our per-event validation stays in the same order of
+    # magnitude while adding semantic rule enforcement.
+    four = rows[0]
+    assert four[2] < 4 * four[1]

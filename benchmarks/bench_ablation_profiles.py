@@ -1,0 +1,47 @@
+"""Ablation — deployment latency profiles.
+
+The paper evaluates on an intra-continental deployment and remarks that
+"inter-continental online FPS gameplay is rare due to increased
+latencies" (§7.2.3).  This bench quantifies the claim on our substrate:
+the same 16-peer all-optimisations pipeline on a 1 Gbps LAN, across the
+paper's three US regions, and across four continents.
+"""
+
+from helpers import all_opts_fabric, measure_validation_latency
+from repro.analysis import AsciiTable
+from repro.core import ShimConfig
+from repro.simnet import INTERCONTINENTAL, INTERNET_US, LAN_1GBPS
+
+PEERS = 16
+
+
+def run_profiles():
+    shim_config = ShimConfig(multithreaded=True, batching=False)
+    fabric = all_opts_fabric()
+    return {
+        profile.name: measure_validation_latency(
+            PEERS, fabric, shim_config, events_per_lane=20, profile=profile
+        )
+        for profile in (LAN_1GBPS, INTERNET_US, INTERCONTINENTAL)
+    }
+
+
+def test_ablation_latency_profiles(benchmark):
+    results = benchmark.pedantic(run_profiles, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["profile", "avg validation latency (ms)"],
+        title=f"Ablation: deployment profile ({PEERS} peers, all opts)",
+    )
+    for name, latency in results.items():
+        table.row(name, f"{latency:.0f}")
+    table.print()
+
+    lan = results["lan-1gbps"]
+    us = results["internet-us"]
+    world = results["intercontinental"]
+    # Strict ordering, with intercontinental clearly past comfortable
+    # FPS latencies relative to the intra-US deployment.
+    assert lan < us < world
+    assert world > us * 1.3
+    assert lan < 60.0

@@ -1,0 +1,32 @@
+"""Fig. 2 — Distribution of servers based on observed latencies (§7.1).
+
+Prints, per title, the fraction of servers in each of the six latency
+bins, and checks the published take-away: the majority of servers lie
+in the 100-350 ms buckets and few offer <100 ms.
+"""
+
+from repro.analysis import AsciiTable
+from repro.study import LATENCY_BINS, STUDY_TITLES, SteamStudy
+
+
+def run_fig2():
+    return SteamStudy(seed=2018).figure2()
+
+
+def test_fig2_server_latency_distribution(benchmark):
+    distributions = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+
+    headers = ["Game"] + [f"{int(lo)}-{int(hi)}ms" for lo, hi in LATENCY_BINS]
+    table = AsciiTable(headers, title="Fig. 2 — server share per latency bin")
+    for title in STUDY_TITLES:
+        bins = distributions[title.name]
+        table.row(title.name, *[f"{b:.2f}" for b in bins])
+    table.print()
+
+    for title in STUDY_TITLES:
+        bins = distributions[title.name]
+        assert abs(sum(bins) - 1.0) < 1e-9
+        # Majority of servers in the 100-350 ms buckets…
+        assert sum(bins[2:5]) > 0.5, title.name
+        # …and not enough servers with <100 ms latency.
+        assert sum(bins[:2]) < 0.2, title.name

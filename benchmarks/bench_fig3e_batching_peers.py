@@ -1,0 +1,49 @@
+"""Fig. 3e — Transaction delays across peer configurations for session
+#9 (§7.2.4(1)).
+
+Published shape: with batching, none of the smaller setups report any
+delays and only the 32-peer case shows a small count (62); without
+batching, delays are huge from 8 peers up.
+"""
+
+from helpers import validation_window_ms
+from repro.analysis import AsciiTable
+from repro.core import count_delays
+from repro.game import paper_dataset, ten_longest
+
+PEER_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def run_fig3e():
+    session9 = ten_longest(paper_dataset())[0]
+    rows = []
+    for n in PEER_COUNTS:
+        window = validation_window_ms(n)
+        with_b = count_delays(session9.events, window, batching=True)
+        without = count_delays(session9.events, window, batching=False)
+        rows.append((n, window, with_b, without))
+    return session9, rows
+
+
+def test_fig3e_batching_across_peer_configs(benchmark):
+    session9, rows = benchmark.pedantic(run_fig3e, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["peers", "window (ms)", "delays w/o batching", "delays w/ batching"],
+        title=f"Fig. 3e — txn delays across peer configs, session "
+              f"{session9.session_id} ({len(session9)} events)",
+    )
+    for n, window, with_b, without in rows:
+        table.row(n, f"{window:.0f}", without.delayed_events,
+                  with_b.delayed_events)
+    table.print()
+
+    by_peers = {n: (with_b, without) for n, _, with_b, without in rows}
+    # Delays grow with the peer count (the window widens).
+    delays_without = [without.delayed_events for _, _, _, without in rows]
+    assert delays_without == sorted(delays_without)
+    # With batching the counts stay tiny even at 32 peers…
+    assert by_peers[32][0].delayed_events < 200
+    # …while without batching 8+ peer setups suffer huge delays.
+    for n in (8, 16, 32):
+        assert by_peers[n][1].delayed_events > 1000, n

@@ -1,0 +1,58 @@
+"""Table 2 — Study of latency, tickrate and player participation in FPS
+games (§7.1).
+
+Regenerates the ten-title table through the paper's methodology over
+the synthetic Steam ecosystem and prints measured vs published rows.
+"""
+
+import pytest
+
+from repro.analysis import AsciiTable
+from repro.study import STUDY_TITLES, SteamStudy
+
+#: Table 2 as published (players avg/max, latency ms, tickrate).
+PAPER_ROWS = {
+    "Counter-Strike 1.6": (25.49, 32, 241, 30),
+    "Counter-Strike: GO": (18.93, 63, 240, 64),
+    "Counter-Strike: Source": (14.84, 64, 234, 66),
+    "Day of Defeat": (4.59, 30, 245, 30),
+    "Double Action: Boogaloo": (0.42, 17, 288, 30),
+    "Half-Life": (1.75, 31, 258, 60),
+    "Half-Life 2: Deathmatch": (0.99, 64, 244, 30),
+    "Left 4 Dead 2": (2.38, 24, 272, 30),
+    "Team Fortress Classic": (0.41, 15, 253, 30),
+    "Team Fortress 2": (5.63, 32, 270, 30),
+}
+
+
+def run_study():
+    return SteamStudy(seed=2018).table2(sessions=5)
+
+
+def test_table2_steam_study(benchmark):
+    rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["Game", "Avg players", "Max", "Avg latency (ms)", "Tickrate",
+         "paper: avg/max/lat/tick"],
+        title="Table 2 — study of latency, tickrate and player participation",
+    )
+    for row in rows:
+        p_avg, p_max, p_lat, p_tick = PAPER_ROWS[row.game]
+        table.row(
+            row.game, f"{row.avg_players:.2f}", row.max_players,
+            f"{row.avg_latency_ms:.0f}", row.tickrate,
+            f"{p_avg}/{p_max}/{p_lat}/{p_tick}",
+        )
+    table.print()
+
+    # Shape checks (the paper's four §7.1 take-aways).
+    assert min(r.avg_latency_ms for r in rows) >= 225.0
+    assert sum(1 for r in rows if r.tickrate > 30) == 3
+    assert sum(1 for r in rows if r.max_players > 32) == 3
+    for row in rows:
+        p_avg, p_max, p_lat, p_tick = PAPER_ROWS[row.game]
+        assert row.tickrate == p_tick
+        assert row.max_players == p_max
+        assert row.avg_latency_ms == pytest.approx(p_lat, rel=0.10)
+        assert row.avg_players == pytest.approx(p_avg, rel=0.45, abs=1.0)

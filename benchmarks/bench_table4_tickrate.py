@@ -1,0 +1,84 @@
+"""Table 4 — Transaction delays with varying client tickrate and peer
+count (§7.2.4(2)).
+
+"We replay Doom traffic from session #9 at higher tickrates and
+determine count of event delays for various peer setups."  Replaying at
+tickrate X means playing the same traffic back at X/35 speed (the event
+mix and sequence structure are the session's; only the clock runs
+faster).  Published shape: delays increase with peer count and
+tickrate but stay bounded — "even with 32 peers and at tickrate of 90,
+we observe just 99 potential delays".
+"""
+
+from helpers import validation_window_ms
+from repro.analysis import AsciiTable
+from repro.core import count_delays
+from repro.game import GameEvent, paper_dataset, ten_longest
+
+TICKRATES = (35, 60, 90, 120, 150)
+PEER_COUNTS = (1, 2, 4, 8, 16, 32)
+
+#: Table 4 as published (tickrate -> delays for p=1..32); the paper's
+#: first row is tickrate 30 (our sessions are native 35).
+PAPER_TABLE4 = {
+    30: (0, 0, 0, 0, 0, 62),
+    60: (0, 0, 0, 0, 33, 85),
+    90: (0, 0, 0, 38, 56, 99),
+    120: (0, 0, 3, 56, 65, 112),
+    150: (0, 5, 15, 66, 73, 121),
+}
+
+
+def compress(events, factor: float):
+    """Replay the same traffic at ``factor``× speed."""
+    return [
+        GameEvent(e.t_ms / factor, e.player, e.etype, e.payload, e.seq)
+        for e in events
+    ]
+
+
+def run_table4():
+    session9 = ten_longest(paper_dataset())[0]
+    windows = {n: validation_window_ms(n) for n in PEER_COUNTS}
+    grid = {}
+    for tickrate in TICKRATES:
+        events = compress(session9.events, tickrate / session9.tickrate)
+        grid[tickrate] = tuple(
+            count_delays(events, windows[n], batching=True).delayed_events
+            for n in PEER_COUNTS
+        )
+    return grid
+
+
+def test_table4_tickrate_scaling(benchmark):
+    grid = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["tickrate"] + [f"p={n}" for n in PEER_COUNTS] + ["paper (p=1..32)"],
+        title="Table 4 — delays vs client tickrate and peer count",
+    )
+    for tickrate in TICKRATES:
+        paper_row = PAPER_TABLE4.get(30 if tickrate == 35 else tickrate)
+        table.row(tickrate, *grid[tickrate],
+                  "/".join(str(v) for v in paper_row))
+    table.print()
+
+    # Shape 1: delays grow with peer count (small sampling dips allowed).
+    for tickrate in TICKRATES:
+        row = grid[tickrate]
+        for a, b in zip(row, row[1:]):
+            assert b >= a - 10, (tickrate, row)
+        assert row[-1] >= row[0]
+    # Shape 2: delays grow with tickrate at every peer count.
+    for i, n in enumerate(PEER_COUNTS):
+        column = [grid[t][i] for t in TICKRATES]
+        for a, b in zip(column, column[1:]):
+            assert b >= a - 10, (n, column)
+        assert column[-1] >= column[0]
+    # Shape 3: the native-rate single-peer room never misses a window,
+    # and even the worst cell stays bounded (paper: 121) — the game
+    # proceeds normally at modern tickrates.
+    assert grid[35][0] == 0
+    assert grid[150][-1] < 300
+    # Shape 4: tickrate 90 at 32 peers remains modest (paper: 99).
+    assert grid[90][-1] < 150

@@ -1,0 +1,172 @@
+"""Shared machinery for the benchmark harness.
+
+The central piece is the §7.2.3 event generator: "We generate synthetic
+events … and drive the shim at the highest successful event input rate
+possible, i.e., the shim sends events to the contract immediately after
+receiving validation notification for the previous event" — a closed
+loop per asset type, five asset types, implemented by
+:class:`ClosedLoopDriver` on top of the real shim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.blockchain import FabricConfig
+from repro.core import DoomContract, GameSession, ShimConfig
+from repro.game import DoomMap, EventType, GameEvent, WeaponId
+from repro.simnet import INTERNET_US, LatencyProfile
+
+#: The three shim/platform configurations of Fig. 3c.
+def fig3c_configs() -> Dict[str, Tuple[FabricConfig, ShimConfig]]:
+    return {
+        "baseline (5 assets)": (
+            FabricConfig(max_block_txs=1),
+            ShimConfig(multithreaded=False, batching=False),
+        ),
+        "w/ multi-threading": (
+            FabricConfig(max_block_txs=1),
+            ShimConfig(multithreaded=True, batching=False),
+        ),
+        "w/ multi-threading + blocksize": (
+            FabricConfig(max_block_txs=5, mutually_exclusive_blocks=True),
+            ShimConfig(multithreaded=True, batching=False),
+        ),
+    }
+
+
+#: All-optimisations platform configuration (used by the batching and
+#: scalability experiments, §7.2.4: "we enabled all optimizations and
+#: set the number of threads per peer and the block size to 5").
+def all_opts_fabric() -> FabricConfig:
+    return FabricConfig(max_block_txs=5, mutually_exclusive_blocks=True)
+
+
+class ClosedLoopDriver:
+    """Drives five per-asset closed loops through one shim.
+
+    Each lane (location, shoot/ammo, health, invisibility, radiation suit)
+    keeps exactly one event outstanding: the next is generated the
+    moment the previous one's validation notification arrives.
+    """
+
+    LANES = ("location", "ammo", "health", "invis", "radsuit")
+
+    def __init__(self, session: GameSession, events_per_lane: int):
+        self.session = session
+        self.shim = session.shims[0]
+        self.events_per_lane = events_per_lane
+        self.sent: Dict[str, int] = {lane: 0 for lane in self.LANES}
+        self.latencies: Dict[str, List[float]] = {lane: [] for lane in self.LANES}
+        self.rejorted: List[str] = []
+        self._seq = 0
+        self._lane_of_seq: Dict[int, str] = {}
+        spawn = session.network.game_map.spawn_points[0]
+        self._x, self._y = spawn
+        self._weapon_toggle = False
+        self.shim.on_ack = self._on_ack
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        for lane in self.LANES:
+            self._send(lane)
+
+    def done(self) -> bool:
+        return all(self.sent[lane] >= self.events_per_lane for lane in self.LANES)
+
+    def all_latencies(self) -> List[float]:
+        return [l for lane in self.LANES for l in self.latencies[lane]]
+
+    # ------------------------------------------------------------------
+
+    def _send(self, lane: str) -> None:
+        if self.sent[lane] >= self.events_per_lane:
+            return
+        self.sent[lane] += 1
+        self._seq += 1
+        seq = self._seq
+        self._lane_of_seq[seq] = lane
+        now = self.session.now
+        if lane == "location":
+            self._x += 1.0
+            event = GameEvent(now, self.shim.player, EventType.LOCATION,
+                              {"x": self._x, "y": self._y, "t": now}, seq)
+        elif lane == "ammo":
+            # One clip pickup per ten shots keeps the magazine loaded.
+            if self.sent[lane] % 10 == 0:
+                event = GameEvent(now, self.shim.player, EventType.PICKUP_CLIP,
+                                  {"t": now}, seq)
+            else:
+                event = GameEvent(now, self.shim.player, EventType.SHOOT,
+                                  {"count": 1}, seq)
+        elif lane == "health":
+            event = GameEvent(now, self.shim.player, EventType.DAMAGE,
+                              {"amount": 1, "t": now}, seq)
+        elif lane == "invis":
+            event = GameEvent(now, self.shim.player, EventType.PICKUP_INVIS,
+                              {"t": now}, seq)
+        else:  # radsuit
+            event = GameEvent(now, self.shim.player, EventType.PICKUP_RADSUIT,
+                              {"t": now}, seq)
+        self.shim.on_game_event(event)
+
+    def _on_ack(self, event: GameEvent, accepted: bool, code: str, latency: float) -> None:
+        lane = self._lane_of_seq.pop(event.seq, None)
+        if lane is None:
+            return
+        self.latencies[lane].append(latency)
+        if not accepted:
+            self.rejorted.append(code)
+        self._send(lane)
+
+
+def measure_validation_latency(
+    n_peers: int,
+    fabric: FabricConfig,
+    shim_config: ShimConfig,
+    events_per_lane: int = 30,
+    profile: LatencyProfile = INTERNET_US,
+    seed: int = 1,
+) -> float:
+    """Average per-asset event-validation latency (simulated ms) under
+    the §7.2.3 methodology."""
+    session = GameSession(
+        n_peers=n_peers,
+        profile=profile,
+        fabric_config=fabric,
+        shim_config=shim_config,
+        game_map=DoomMap.default_map(),
+        n_players=1,
+        seed=seed,
+    )
+    # Synthetic generators claim pickups without item bindings.
+    for peer in session.chain.peers:
+        peer.contracts["doom"].strict_pickups = False
+    session.setup()
+    driver = ClosedLoopDriver(session, events_per_lane)
+    driver.start()
+    session.run_until_idle()
+    assert driver.done(), "closed loops did not complete"
+    assert not driver.rejorted, f"unexpected rejections: {driver.rejorted[:5]}"
+    latencies = driver.all_latencies()
+    session.teardown()
+    return sum(latencies) / len(latencies)
+
+
+_WINDOW_CACHE: Dict[Tuple[int, int], float] = {}
+
+
+def validation_window_ms(n_peers: int, events_per_lane: int = 20, seed: int = 1) -> float:
+    """The all-optimisations average validation latency for a peer count
+    — the 'time window' the batching analyses are measured against."""
+    key = (n_peers, events_per_lane)
+    if key not in _WINDOW_CACHE:
+        _WINDOW_CACHE[key] = measure_validation_latency(
+            n_peers,
+            all_opts_fabric(),
+            ShimConfig(multithreaded=True, batching=False),
+            events_per_lane=events_per_lane,
+            seed=seed,
+        )
+    return _WINDOW_CACHE[key]

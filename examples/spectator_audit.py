@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Auditing a finished session: the ledger as tamper-evident match record.
+
+Because every asset update — accepted or rejected — is a transaction on
+an append-only hash chain, anyone holding a peer's ledger can verify
+after the fact exactly what happened: who played, who cheated, what the
+verdicts were, and that nobody rewrote history.  This is the
+non-repudiation property the paper's §7.3(ii) case study is built on,
+applied to a Doom deathmatch.
+
+Run:  python examples/spectator_audit.py
+"""
+
+from repro.analysis import AsciiTable, audit_ledger, cross_audit
+from repro.core import CheatInjector, GameSession
+from repro.game import EventType, GameEvent
+from repro.simnet import LAN_1GBPS
+
+
+def main() -> None:
+    # --- the match ---------------------------------------------------------
+    session = GameSession(n_peers=4, profile=LAN_1GBPS, n_players=2, seed=99)
+    session.setup()
+    honest, cheater = session.shims
+
+    for seq in range(1, 9):
+        session.inject_event(GameEvent(
+            session.now, honest.player, EventType.SHOOT, {"count": 1}, seq),
+            shim=honest)
+        session.run_until_idle()
+    CheatInjector(session, shim=cheater).run_all_relevant()
+    session.teardown()
+
+    # --- the audit ---------------------------------------------------------
+    ledger = session.chain.peers[0].ledger
+    report = audit_ledger(ledger)
+
+    print(f"chain valid: {report.chain_valid}; height {report.height} blocks; "
+          f"{report.total_transactions} transactions "
+          f"({report.accepted} accepted, {report.rejected} rejected)")
+
+    table = AsciiTable(["player", "transactions", "rejections"],
+                       title="Per-player record")
+    for creator, count in sorted(report.by_creator.items()):
+        table.row(creator, count, len(report.rejections_by(creator)))
+    table.print()
+
+    table = AsciiTable(["player", "function", "verdict", "block"],
+                       title="Every cheating attempt, attributably on record")
+    for creator, function, code, block in report.rejections:
+        table.row(creator, function, code, block)
+    table.print()
+
+    ledgers = [p.ledger for p in session.chain.peers]
+    print(f"all {len(ledgers)} peers agree bit-for-bit: {cross_audit(ledgers)}")
+
+    # --- tamper-evidence ----------------------------------------------------
+    victim = ledger.block(2).transactions[0]
+    original = victim.proposal.args
+    object.__setattr__(victim.proposal, "args", ({"revised": "history"},))
+    print(f"after rewriting one committed transaction, "
+          f"chain valid: {audit_ledger(ledger).chain_valid}, "
+          f"cross-audit: {cross_audit(ledgers)}")
+    object.__setattr__(victim.proposal, "args", original)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Blockchain-based Real-time Cheat Prevention
+and Robustness for Multi-player Online Games" (Kalra, Sanghi, Dhawan —
+CoNEXT '18).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the paper's contribution: constraint-spec language
+  and code generator, smart contracts, the shim with its batching and
+  multithreading optimisations, session orchestration, cheat injection.
+* :mod:`repro.blockchain` — a from-scratch Fabric-v1.0-style
+  permissioned blockchain (ordering service, MVCC world state, peer
+  voting, ledger sync).
+* :mod:`repro.simnet` — deterministic discrete-event network simulator
+  (latency profiles, DDoS attack models).
+* :mod:`repro.game` — Doom rules/clients/traces and Monopoly.
+* :mod:`repro.baselines` — C/S server, lockstep P2P, RACS, Table 3 matrix.
+* :mod:`repro.rng` — commit-reveal distributed randomness.
+* :mod:`repro.enclave` — secure-enclave overhead + sealed-state model.
+* :mod:`repro.study` — the §7.1 Steam study.
+* :mod:`repro.analysis` — metrics and report rendering.
+
+Quickstart::
+
+    from repro.core import GameSession, CheatInjector
+    from repro.simnet import LAN_1GBPS
+
+    session = GameSession(n_peers=4, profile=LAN_1GBPS)
+    session.setup()
+    results = CheatInjector(session).run_all_relevant()
+    assert all(r.prevented for r in results)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

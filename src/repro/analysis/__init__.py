@@ -1,0 +1,20 @@
+"""Metrics, ledger auditing and report rendering."""
+
+from .audit import AuditReport, audit_ledger, cross_audit
+from .metrics import histogram, mean, median, percentile, rate_per_second, stddev
+from .report import AsciiTable, banner, format_series
+
+__all__ = [
+    "AuditReport",
+    "audit_ledger",
+    "cross_audit",
+    "histogram",
+    "mean",
+    "median",
+    "percentile",
+    "rate_per_second",
+    "stddev",
+    "AsciiTable",
+    "banner",
+    "format_series",
+]

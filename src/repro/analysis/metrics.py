@@ -1,0 +1,64 @@
+"""Statistics helpers shared by benches and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["mean", "median", "percentile", "stddev", "histogram", "rate_per_second"]
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile, p in [0, 100]."""
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def stddev(values: Sequence[float]) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def histogram(
+    values: Iterable[float], bins: Sequence[Tuple[float, float]]
+) -> List[int]:
+    """Counts per [low, high) bin; values outside all bins are dropped."""
+    counts = [0] * len(bins)
+    for value in values:
+        for i, (low, high) in enumerate(bins):
+            if low <= value < high:
+                counts[i] += 1
+                break
+    return counts
+
+
+def rate_per_second(count: int, span_ms: float) -> float:
+    if span_ms <= 0:
+        return 0.0
+    return count / (span_ms / 1000.0)

@@ -1,0 +1,39 @@
+"""Comparison systems: C/S server, lockstep P2P, RACS, and the Table 3
+anti-cheat mechanism capability matrix."""
+
+from .clientserver import AckMsg, CSClient, EventMsg, GameServer
+from .lockstep import Commitment, LockstepGame, LockstepPlayer, Reveal
+from .mechanisms import (
+    CHEAT_ROWS,
+    MECHANISMS,
+    NOT_APPLICABLE,
+    NOT_PREVENTED,
+    PAPER_TABLE3,
+    PREVENTED,
+    CheatRow,
+    matrix_lookup,
+    our_approach_matches_cs,
+)
+from .racs import RacsPeer, Referee
+
+__all__ = [
+    "AckMsg",
+    "CSClient",
+    "EventMsg",
+    "GameServer",
+    "Commitment",
+    "LockstepGame",
+    "LockstepPlayer",
+    "Reveal",
+    "CHEAT_ROWS",
+    "MECHANISMS",
+    "NOT_APPLICABLE",
+    "NOT_PREVENTED",
+    "PAPER_TABLE3",
+    "PREVENTED",
+    "CheatRow",
+    "matrix_lookup",
+    "our_approach_matches_cs",
+    "RacsPeer",
+    "Referee",
+]

@@ -1,0 +1,229 @@
+"""The client-server baseline: a trusted game server.
+
+This is the architecture the paper compares against throughout: the
+server holds definitive state, validates every client event against the
+same game rules the smart contract encodes, and acknowledges per event.
+It detects the same cheat class ("reported client state inconsistent
+with the observed state at the server") but is a central point of
+failure under DDoS (§2.2, §7.2.4(3)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..game.assets import AssetId
+from ..game.doom import DoomMap, DoomRules, RuleViolation, WEAPONS, initial_assets
+from ..game.events import EventType, GameEvent
+from ..simnet.latency import Region
+from ..simnet.topology import Host
+
+__all__ = ["EventMsg", "AckMsg", "GameServer", "CSClient"]
+
+
+@dataclass(frozen=True)
+class EventMsg:
+    event: GameEvent
+
+
+@dataclass(frozen=True)
+class AckMsg:
+    seq: int
+    accepted: bool
+    reason: str = ""
+
+
+class GameServer(Host):
+    """A trusted C/S game server running the Doom rules.
+
+    Server-side validation mirrors ``repro.core.doom_contract`` exactly
+    (both call into :class:`~repro.game.doom.DoomRules`), so cheat
+    coverage is identical by construction — the paper's claim that the
+    blockchain approach "does no worse cheat detection than the standard
+    C/S architecture" (§4) is checked test-by-test in
+    ``tests/test_baselines.py``.
+    """
+
+    def __init__(
+        self,
+        name: str = "server",
+        region: str = Region.DALLAS,
+        game_map: Optional[DoomMap] = None,
+        compute_ms_per_event: float = 0.25,
+        strict_pickups: bool = True,
+    ):
+        super().__init__(name, region)
+        self.map = game_map if game_map is not None else DoomMap.default_map()
+        self.compute_ms = compute_ms_per_event
+        self.strict_pickups = strict_pickups
+        self.players: Dict[str, Dict[int, object]] = {}
+        self.items_taken: Dict[str, Dict] = {}
+        self.started = False
+        self.events_validated = 0
+        self.events_rejected = 0
+        self._cpu_free_at = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def add_player(self, player: str) -> None:
+        if player in self.players:
+            raise ValueError(f"player {player} already joined")
+        if len(self.players) >= 4:
+            raise ValueError("Doom supports at most four players")
+        spawn = self.map.spawn_points[len(self.players) % len(self.map.spawn_points)]
+        self.players[player] = initial_assets(spawn)
+        self.started = True
+
+    # ------------------------------------------------------------------
+    # message handling
+
+    def handle_message(self, src: Host, payload) -> None:
+        if not isinstance(payload, EventMsg):
+            raise TypeError(f"server cannot handle {type(payload).__name__}")
+        sched = self.network.scheduler
+        start = max(sched.now, self._cpu_free_at)
+        done = start + self.compute_ms
+        self._cpu_free_at = done
+        sched.call_at(done, self._process, src, payload.event)
+
+    def _process(self, src: Host, event: GameEvent) -> None:
+        accepted, reason = self.validate_and_apply(event)
+        self.send(src, AckMsg(seq=event.seq, accepted=accepted, reason=reason),
+                  size_bytes=64)
+
+    # ------------------------------------------------------------------
+    # validation (same rules as the smart contract)
+
+    def validate_and_apply(self, event: GameEvent) -> Tuple[bool, str]:
+        try:
+            self._apply(event)
+        except RuleViolation as violation:
+            self.events_rejected += 1
+            return False, str(violation)
+        self.events_validated += 1
+        return True, ""
+
+    def _apply(self, event: GameEvent) -> None:
+        state = self.players.get(event.player)
+        if state is None:
+            raise RuleViolation(f"unknown player {event.player}")
+        payload, t = event.payload, event.t_ms
+        etype = event.etype
+        if etype == EventType.LOCATION:
+            state[AssetId.POSITION] = DoomRules.validate_move(
+                state[AssetId.POSITION], payload["x"], payload["y"],
+                payload.get("t", t), self.map,
+            )
+        elif etype == EventType.SHOOT:
+            state[AssetId.AMMUNITION] = DoomRules.validate_shoot(
+                state[AssetId.WEAPON], state[AssetId.AMMUNITION],
+                payload.get("count", 1),
+            )
+        elif etype == EventType.WEAPON_CHANGE:
+            state[AssetId.WEAPON] = DoomRules.validate_weapon_change(
+                state[AssetId.WEAPON], payload["wid"]
+            )
+        elif etype == EventType.DAMAGE:
+            target = self.players.get(payload.get("target", event.player))
+            if target is None:
+                raise RuleViolation("damage target not in this game")
+            health, armor, _ = DoomRules.apply_damage(
+                target[AssetId.HEALTH], target[AssetId.ARMOR],
+                payload["amount"], payload.get("t", t),
+            )
+            target[AssetId.HEALTH] = health
+            target[AssetId.ARMOR] = armor
+        elif etype.startswith("pickup_"):
+            self._apply_pickup(state, event)
+        else:
+            raise RuleViolation(f"unknown event type {etype}")
+
+    def _apply_pickup(self, state: Dict, event: GameEvent) -> None:
+        payload, t = event.payload, event.payload.get("t", event.t_ms)
+        item_id = payload.get("item_id")
+        if item_id is None:
+            if self.strict_pickups:
+                raise RuleViolation("pickup does not name a map item")
+        else:
+            item = self.map.item(item_id)
+            DoomRules.validate_pickup(
+                item, self.items_taken.get(item_id), state[AssetId.POSITION], t
+            )
+            self.items_taken[item_id] = {"taken_at": t}
+        etype = event.etype
+        if etype == EventType.PICKUP_CLIP:
+            state[AssetId.AMMUNITION] = DoomRules.add_ammo(
+                state[AssetId.AMMUNITION], DoomRules.CLIP_AMMO
+            )
+        elif etype == EventType.PICKUP_MEDKIT:
+            state[AssetId.HEALTH] = DoomRules.heal(
+                state[AssetId.HEALTH], DoomRules.MEDKIT_HEAL
+            )
+        elif etype == EventType.PICKUP_WEAPON:
+            wid = payload["wid"]
+            if wid not in WEAPONS:
+                raise RuleViolation(f"no such weapon {wid}")
+            weapon = dict(state[AssetId.WEAPON])
+            owned = list(weapon.get("owned", []))
+            if wid not in owned:
+                owned.append(wid)
+            weapon["owned"] = owned
+            weapon["current"] = wid
+            state[AssetId.WEAPON] = weapon
+            state[AssetId.AMMUNITION] = DoomRules.add_ammo(
+                state[AssetId.AMMUNITION], DoomRules.WEAPON_PICKUP_AMMO
+            )
+        elif etype == EventType.PICKUP_RADSUIT:
+            state[AssetId.RADIATION_SUIT] = t + DoomRules.POWERUP_DURATION_MS
+        elif etype == EventType.PICKUP_INVIS:
+            state[AssetId.INVISIBILITY] = t + DoomRules.POWERUP_DURATION_MS
+        elif etype == EventType.PICKUP_INVULN:
+            health = dict(state[AssetId.HEALTH])
+            health["invuln_until"] = t + DoomRules.POWERUP_DURATION_MS
+            state[AssetId.HEALTH] = health
+        elif etype == EventType.PICKUP_BERSERK:
+            state[AssetId.BERSERK] = t + DoomRules.POWERUP_DURATION_MS
+            state[AssetId.HEALTH] = DoomRules.heal(state[AssetId.HEALTH], 100)
+        else:
+            raise RuleViolation(f"unknown pickup {etype}")
+
+
+class CSClient(Host):
+    """A C/S game client: sends events, records per-event ack latency."""
+
+    def __init__(self, name: str, region: str, server: GameServer):
+        super().__init__(name, region)
+        self.server = server
+        self._sent_at: Dict[int, float] = {}
+        self.latencies_ms: List[float] = []
+        self.accepted = 0
+        self.rejected = 0
+        self.rejection_reasons: List[str] = []
+        self.on_ack: Optional[Callable[[AckMsg, float], None]] = None
+
+    def send_event(self, event: GameEvent) -> None:
+        self._sent_at[event.seq] = self.network.scheduler.now
+        self.send(self.server, EventMsg(event), size_bytes=128)
+
+    def handle_message(self, src: Host, payload) -> None:
+        if not isinstance(payload, AckMsg):
+            raise TypeError(f"client cannot handle {type(payload).__name__}")
+        sent = self._sent_at.pop(payload.seq, None)
+        latency = self.network.scheduler.now - sent if sent is not None else 0.0
+        self.latencies_ms.append(latency)
+        if payload.accepted:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+            self.rejection_reasons.append(payload.reason)
+        if self.on_ack is not None:
+            self.on_ack(payload, latency)
+
+    @property
+    def avg_latency_ms(self) -> float:
+        return sum(self.latencies_ms) / len(self.latencies_ms) if self.latencies_ms else 0.0
+
+    def pending(self) -> int:
+        return len(self._sent_at)

@@ -1,0 +1,170 @@
+"""Lockstep P2P baseline (Baughman et al., NEO/SEA family — §9.1).
+
+"P2P games run the exact simulation on each client, passing identical
+commands … Prior work implement this Lockstep technique and its
+variants."  In lockstep, each round every player (1) broadcasts a
+cryptographic commitment to its move, (2) after receiving *all*
+commitments, broadcasts the reveal.  No player can base its move on
+another's (lookahead cheating), and a reveal that does not match its
+commitment is caught.
+
+The cost is the property the paper's approach avoids: the round
+advances at the pace of the slowest player (2 × max RTT per round), and
+there is no semantic validation — lockstep guarantees agreement on the
+*inputs*, not that the resulting state transition is legal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simnet.topology import Host
+
+__all__ = ["Commitment", "Reveal", "LockstepPlayer", "LockstepGame"]
+
+
+def _commit(move: str, salt: str) -> str:
+    return hashlib.sha256(f"{salt}:{move}".encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Commitment:
+    round_no: int
+    sender: str
+    digest: str
+
+
+@dataclass(frozen=True)
+class Reveal:
+    round_no: int
+    sender: str
+    move: str
+    salt: str
+
+
+class LockstepPlayer(Host):
+    """One lockstep participant.
+
+    ``move_source`` supplies the move for each round; ``lie`` makes the
+    player reveal a different move than committed (caught by peers).
+    """
+
+    def __init__(self, name: str, region: str, move_source=None, lie: bool = False):
+        super().__init__(name, region)
+        self.move_source = move_source or (lambda round_no: f"move-{round_no}")
+        self.lie = lie
+        self.peers: List["LockstepPlayer"] = []
+        self.round_no = 0
+        self._commitments: Dict[int, Dict[str, str]] = {}
+        self._reveals: Dict[int, Dict[str, Reveal]] = {}
+        self._pending_move: Dict[int, Tuple[str, str]] = {}
+        self.completed_rounds: Dict[int, Dict[str, str]] = {}
+        self.round_started_at: Dict[int, float] = {}
+        self.round_completed_at: Dict[int, float] = {}
+        self.cheaters_detected: List[Tuple[int, str]] = []
+        self.max_rounds: Optional[int] = None
+
+    def connect(self, players: List["LockstepPlayer"]) -> None:
+        self.peers = [p for p in players if p.name != self.name]
+
+    # ------------------------------------------------------------------
+    # protocol
+
+    def start_round(self) -> None:
+        self.round_no += 1
+        round_no = self.round_no
+        self.round_started_at[round_no] = self.network.scheduler.now
+        move = str(self.move_source(round_no))
+        salt = f"{self.name}:{round_no}"
+        self._pending_move[round_no] = (move, salt)
+        commitment = Commitment(round_no, self.name, _commit(move, salt))
+        self._commitments.setdefault(round_no, {})[self.name] = commitment.digest
+        for peer in self.peers:
+            self.send(peer, commitment, size_bytes=96)
+        self._maybe_reveal(round_no)
+
+    def handle_message(self, src: Host, payload) -> None:
+        if isinstance(payload, Commitment):
+            self._commitments.setdefault(payload.round_no, {})[payload.sender] = (
+                payload.digest
+            )
+            self._maybe_reveal(payload.round_no)
+        elif isinstance(payload, Reveal):
+            self._reveals.setdefault(payload.round_no, {})[payload.sender] = payload
+            self._maybe_complete(payload.round_no)
+        else:
+            raise TypeError(f"lockstep player cannot handle {type(payload).__name__}")
+
+    def _maybe_reveal(self, round_no: int) -> None:
+        """Reveal only once every player's commitment arrived (this is
+        the anti-lookahead property)."""
+        if round_no != self.round_no or round_no not in self._pending_move:
+            return
+        commitments = self._commitments.get(round_no, {})
+        if len(commitments) < len(self.peers) + 1:
+            return
+        move, salt = self._pending_move.pop(round_no)
+        revealed = f"{move}-LIE" if self.lie else move
+        reveal = Reveal(round_no, self.name, revealed, salt)
+        self._reveals.setdefault(round_no, {})[self.name] = reveal
+        for peer in self.peers:
+            self.send(peer, reveal, size_bytes=96)
+        self._maybe_complete(round_no)
+
+    def _maybe_complete(self, round_no: int) -> None:
+        if round_no in self.completed_rounds:
+            return
+        reveals = self._reveals.get(round_no, {})
+        commitments = self._commitments.get(round_no, {})
+        if len(reveals) < len(self.peers) + 1:
+            return
+        moves: Dict[str, str] = {}
+        for sender, reveal in reveals.items():
+            expected = commitments.get(sender)
+            if expected is None or _commit(reveal.move, reveal.salt) != expected:
+                self.cheaters_detected.append((round_no, sender))
+                continue
+            moves[sender] = reveal.move
+        self.completed_rounds[round_no] = moves
+        self.round_completed_at[round_no] = self.network.scheduler.now
+        if self.max_rounds is None or self.round_no < self.max_rounds:
+            self.start_round()
+
+    # ------------------------------------------------------------------
+    # metrics
+
+    def round_latencies_ms(self) -> List[float]:
+        return [
+            self.round_completed_at[r] - self.round_started_at[r]
+            for r in sorted(self.round_completed_at)
+            if r in self.round_started_at
+        ]
+
+
+class LockstepGame:
+    """Drives a lockstep session over a simulated network."""
+
+    def __init__(self, players: List[LockstepPlayer], rounds: int):
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        self.players = players
+        for player in players:
+            player.connect(players)
+            player.max_rounds = rounds
+        self.rounds = rounds
+
+    def run(self, network) -> None:
+        for player in self.players:
+            player.start_round()
+        network.run_until_idle()
+
+    def avg_round_latency_ms(self) -> float:
+        latencies = [l for p in self.players for l in p.round_latencies_ms()]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def all_agree(self) -> bool:
+        """Every honest player saw the same move set every round."""
+        reference = self.players[0].completed_rounds
+        return all(p.completed_rounds == reference for p in self.players[1:])

@@ -1,0 +1,75 @@
+"""RACS baseline: Referee Anti-Cheat Scheme (Webb et al., NOSSDAV '07).
+
+RACS is a hybrid: clients exchange updates peer-to-peer for
+responsiveness, while a trusted *referee* receives every update,
+simulates the game and arbitrates conflicts.  It detects the same
+state-inconsistency cheats a C/S server does (the referee runs the
+rules) but reintroduces a trusted intermediary — the design point the
+paper's blockchain approach removes (§9.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..game.doom import DoomMap
+from ..game.events import GameEvent
+from ..simnet.latency import Region
+from ..simnet.topology import Host
+from .clientserver import AckMsg, EventMsg, GameServer
+
+__all__ = ["Referee", "RacsPeer"]
+
+
+class Referee(GameServer):
+    """The RACS referee: rule validation identical to a C/S server."""
+
+    def __init__(self, name: str = "referee", region: str = Region.DALLAS,
+                 game_map: Optional[DoomMap] = None):
+        super().__init__(name=name, region=region, game_map=game_map)
+
+
+@dataclass(frozen=True)
+class PeerUpdate:
+    event: GameEvent
+
+
+class RacsPeer(Host):
+    """A RACS client: broadcasts updates to peers *and* to the referee.
+
+    Peers render each other's updates optimistically as they arrive
+    (low latency); the referee's verdict is authoritative and arrives
+    later.  ``peer_updates`` records what this peer rendered before
+    arbitration — the window in which a cheat is visible but not yet
+    squelched.
+    """
+
+    def __init__(self, name: str, region: str, referee: Referee):
+        super().__init__(name, region)
+        self.referee = referee
+        self.peers: List["RacsPeer"] = []
+        self.peer_updates: List[GameEvent] = []
+        self.verdicts: Dict[int, bool] = {}
+        self.latencies_ms: Dict[int, float] = {}
+        self._sent_at: Dict[int, float] = {}
+
+    def connect(self, peers: List["RacsPeer"]) -> None:
+        self.peers = [p for p in peers if p.name != self.name]
+
+    def send_event(self, event: GameEvent) -> None:
+        self._sent_at[event.seq] = self.network.scheduler.now
+        for peer in self.peers:
+            self.send(peer, PeerUpdate(event), size_bytes=128)
+        self.send(self.referee, EventMsg(event), size_bytes=128)
+
+    def handle_message(self, src: Host, payload) -> None:
+        if isinstance(payload, PeerUpdate):
+            self.peer_updates.append(payload.event)
+        elif isinstance(payload, AckMsg):
+            self.verdicts[payload.seq] = payload.accepted
+            sent = self._sent_at.pop(payload.seq, None)
+            if sent is not None:
+                self.latencies_ms[payload.seq] = self.network.scheduler.now - sent
+        else:
+            raise TypeError(f"RACS peer cannot handle {type(payload).__name__}")

@@ -1,0 +1,175 @@
+"""Cryptographic primitives: hashing, Merkle trees and RSA signatures.
+
+The blockchain substrate needs (a) tamper-evident hash chaining, (b) a
+Merkle root over block transactions and (c) real public-key signatures so
+that PKI certificates and endorsements are verifiable by anyone holding
+the public key (the paper binds peer identities to the blockchain with
+PKI certificates, §5).
+
+We implement textbook RSA over 512-bit moduli with deterministic key
+generation from a seed.  512 bits is of course not secure against a 2026
+adversary — it is chosen so that key generation and signing stay fast in
+pure Python while every verification in the system is a *real*
+asymmetric check, not a stub.  Swapping in a stronger scheme only means
+changing this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "sha256_hex",
+    "canonical_digest",
+    "merkle_root",
+    "PublicKey",
+    "PrivateKey",
+    "KeyPair",
+    "generate_keypair",
+]
+
+_DEFAULT_KEY_BITS = 512
+
+
+def sha256_hex(data) -> str:
+    """SHA-256 hex digest of ``data`` (str is encoded UTF-8)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_digest(obj: Any) -> str:
+    """Digest of an arbitrary JSON-representable object, with sorted keys so
+    logically equal objects hash equally."""
+    return sha256_hex(json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str))
+
+
+def merkle_root(leaves: Sequence[str]) -> str:
+    """Merkle root over a sequence of hex-digest leaves.
+
+    An empty sequence hashes to the digest of the empty string; odd levels
+    duplicate the final node (Bitcoin-style).
+    """
+    if not leaves:
+        return sha256_hex(b"")
+    level: List[str] = [sha256_hex(leaf) for leaf in leaves]
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [
+            sha256_hex(level[i] + level[i + 1]) for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+# ----------------------------------------------------------------------
+# RSA
+
+def _miller_rabin(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _miller_rabin(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    def verify(self, message, signature: int) -> bool:
+        """True iff ``signature`` is a valid RSA signature over ``message``."""
+        if not isinstance(signature, int) or not 0 < signature < self.n:
+            return False
+        h = int(sha256_hex(message), 16) % self.n
+        return pow(signature, self.e, self.n) == h
+
+    def fingerprint(self) -> str:
+        """Stable identifier for this key (hash of its components)."""
+        return sha256_hex(f"{self.n:x}:{self.e:x}")[:16]
+
+    def to_dict(self) -> dict:
+        return {"n": f"{self.n:x}", "e": self.e}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PublicKey":
+        return cls(n=int(d["n"], 16), e=int(d["e"]))
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key; keep it secret (the paper's attack model assumes an
+    honest majority that does not share private keys, §3.2)."""
+
+    n: int
+    d: int
+
+    def sign(self, message) -> int:
+        h = int(sha256_hex(message), 16) % self.n
+        return pow(h, self.d, self.n)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    public: PublicKey
+    private: PrivateKey
+
+    def sign(self, message) -> int:
+        return self.private.sign(message)
+
+    def verify(self, message, signature: int) -> bool:
+        return self.public.verify(message, signature)
+
+
+def generate_keypair(seed, bits: int = _DEFAULT_KEY_BITS) -> KeyPair:
+    """Deterministically generate an RSA key pair from ``seed``.
+
+    Determinism keeps simulation runs reproducible; distinct seeds yield
+    distinct keys with overwhelming probability.
+    """
+    if bits < 64:
+        raise ValueError("key size too small to be meaningful")
+    rng = random.Random(f"repro-rsa:{seed}")
+    e = 65537
+    half = bits // 2
+    while True:
+        p = _random_prime(half, rng)
+        q = _random_prime(bits - half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        n = p * q
+        d = pow(e, -1, phi)
+        return KeyPair(public=PublicKey(n=n, e=e), private=PrivateKey(n=n, d=d))

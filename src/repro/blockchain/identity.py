@@ -1,0 +1,134 @@
+"""PKI certificates and membership (the permissioned blockchain's MSP).
+
+The shim's peer-discovery step has interested peers send "their
+credentials, i.e., PKI certificates and IP address, to the initiator
+shim" (§4.2.1).  The certificates here are real: a session
+:class:`CertificateAuthority` signs ``(subject, public key, serial)``
+tuples with its own RSA key, and a :class:`MembershipProvider` (Fabric's
+MSP) validates presented certificates against trusted CA roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .crypto import KeyPair, PublicKey, canonical_digest, generate_keypair
+
+__all__ = ["Certificate", "Identity", "CertificateAuthority", "MembershipProvider"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An issued certificate binding ``subject`` to ``public_key``."""
+
+    subject: str
+    public_key: PublicKey
+    issuer: str
+    serial: int
+    signature: int
+
+    def tbs(self) -> str:
+        """The to-be-signed content digest."""
+        return canonical_digest(
+            {
+                "subject": self.subject,
+                "public_key": self.public_key.to_dict(),
+                "issuer": self.issuer,
+                "serial": self.serial,
+            }
+        )
+
+
+@dataclass
+class Identity:
+    """A named principal: key pair plus CA-issued certificate."""
+
+    name: str
+    keypair: KeyPair
+    certificate: Certificate
+
+    def sign(self, message) -> int:
+        return self.keypair.sign(message)
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keypair.public
+
+
+class CertificateAuthority:
+    """The game session's certificate authority.
+
+    One CA is created per game session (the blockchain is ephemeral and
+    torn down at session end, §4.2.6); every participating peer enrols to
+    receive an identity.
+    """
+
+    def __init__(self, name: str = "session-ca", seed: int = 0):
+        self.name = name
+        self._seed = seed
+        self._keypair = generate_keypair(("ca", name, seed))
+        self._serial = 0
+        self._issued: Dict[str, Certificate] = {}
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self._keypair.public
+
+    def enroll(self, subject: str) -> Identity:
+        """Generate a key pair for ``subject`` and issue a certificate."""
+        if subject in self._issued:
+            raise ValueError(f"subject {subject!r} already enrolled")
+        keypair = generate_keypair(("id", self.name, self._seed, subject))
+        cert = self.issue(subject, keypair.public)
+        return Identity(name=subject, keypair=keypair, certificate=cert)
+
+    def issue(self, subject: str, public_key: PublicKey) -> Certificate:
+        """Issue a certificate over an externally generated public key."""
+        self._serial += 1
+        unsigned = Certificate(
+            subject=subject,
+            public_key=public_key,
+            issuer=self.name,
+            serial=self._serial,
+            signature=0,
+        )
+        signature = self._keypair.sign(unsigned.tbs())
+        cert = Certificate(
+            subject=subject,
+            public_key=public_key,
+            issuer=self.name,
+            serial=self._serial,
+            signature=signature,
+        )
+        self._issued[subject] = cert
+        return cert
+
+    def verify(self, cert: Certificate) -> bool:
+        return cert.issuer == self.name and self._keypair.public.verify(
+            cert.tbs(), cert.signature
+        )
+
+
+class MembershipProvider:
+    """Validates certificates against a set of trusted CAs (Fabric's MSP)."""
+
+    def __init__(self) -> None:
+        self._roots: Dict[str, PublicKey] = {}
+
+    def trust(self, ca_name: str, ca_public_key: PublicKey) -> None:
+        self._roots[ca_name] = ca_public_key
+
+    def trust_ca(self, ca: CertificateAuthority) -> None:
+        self.trust(ca.name, ca.public_key)
+
+    def validate(self, cert: Certificate) -> bool:
+        """True iff ``cert`` was signed by a trusted CA."""
+        root = self._roots.get(cert.issuer)
+        if root is None:
+            return False
+        return root.verify(cert.tbs(), cert.signature)
+
+    def verify_signature(self, cert: Certificate, message, signature: int) -> bool:
+        """Validate the certificate chain *and* a signature under it."""
+        return self.validate(cert) and cert.public_key.verify(message, signature)

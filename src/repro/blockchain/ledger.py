@@ -1,0 +1,160 @@
+"""The append-only ledger: hash-chained blocks plus versioned world state.
+
+Commit-time validation implements Fabric v1.0's two rules exactly:
+
+* **MVCC read check** — a transaction is invalid if any key it read has a
+  committed version different from the version it observed at execution.
+* **Block-level KVS conflict** — a transaction is invalid if any key it
+  touches was already written by an earlier valid transaction *in the
+  same block* ("if a player shoots two successive bullets and the two
+  events spawn two transactions within the same block, Fabric will
+  reject the latter transaction", §6).
+
+These rules are what make the paper's per-player-per-asset KVS split and
+mutually-exclusive-block optimisations measurable rather than asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .block import Block, make_genesis_block
+from .state import Version, WorldState
+from .transaction import RWSet, Transaction, TxValidationCode
+
+__all__ = ["TxExecution", "Ledger", "LedgerError"]
+
+
+class LedgerError(RuntimeError):
+    """Raised on invalid ledger operations (bad chain linkage etc.)."""
+
+
+@dataclass
+class TxExecution:
+    """Outcome of executing one transaction's contract call locally.
+
+    ``code`` is :data:`TxValidationCode.VALID` when the contract accepted
+    the update; otherwise the contract-level failure
+    (``CONTRACT_REJECTED``, ``DUPLICATE_NONCE``, ...).  The ledger may
+    still downgrade a VALID execution to an MVCC conflict at commit.
+    """
+
+    rwset: RWSet
+    code: str = TxValidationCode.VALID
+
+
+class Ledger:
+    """One peer's copy of the chain and world state."""
+
+    def __init__(self, genesis: Block):
+        if genesis.number != 0:
+            raise LedgerError("genesis block must have number 0")
+        self._blocks: List[Block] = [genesis]
+        self.state = WorldState()
+        self._tx_index: Dict[str, Tuple[str, int]] = {}  # tx_id -> (code, block number)
+
+    # ------------------------------------------------------------------
+    # chain accessors
+
+    @property
+    def height(self) -> int:
+        """Number of blocks in the chain (genesis included)."""
+        return len(self._blocks)
+
+    @property
+    def last_block(self) -> Block:
+        return self._blocks[-1]
+
+    @property
+    def last_hash(self) -> str:
+        return self._blocks[-1].digest()
+
+    def block(self, number: int) -> Block:
+        return self._blocks[number]
+
+    def blocks(self) -> List[Block]:
+        return list(self._blocks)
+
+    @property
+    def genesis(self) -> Block:
+        return self._blocks[0]
+
+    # ------------------------------------------------------------------
+    # commit
+
+    def append(self, block: Block, executions: List[TxExecution]) -> List[str]:
+        """Validate and commit ``block``; returns final per-tx codes.
+
+        ``executions`` must align 1:1 with ``block.transactions``.
+        """
+        if block.number != self.height:
+            raise LedgerError(
+                f"expected block {self.height}, got {block.number}"
+            )
+        if block.header.previous_hash != self.last_hash:
+            raise LedgerError("previous-hash mismatch: chain fork or tampering")
+        if block.data_digest() != block.header.data_hash:
+            raise LedgerError("block data hash does not match transactions")
+        if len(executions) != len(block.transactions):
+            raise LedgerError("one execution result required per transaction")
+
+        codes: List[str] = []
+        written_this_block: Set[str] = set()
+        for idx, (tx, execution) in enumerate(zip(block.transactions, executions)):
+            code = execution.code
+            if code == TxValidationCode.VALID:
+                code = self._mvcc_check(execution.rwset, written_this_block)
+            if code == TxValidationCode.VALID:
+                version = Version(block.number, idx)
+                for key, value in execution.rwset.writes:
+                    self.state.put(key, value, version)
+                    written_this_block.add(key)
+            codes.append(code)
+            self._tx_index[tx.tx_id] = (code, block.number)
+
+        block.validation_codes = codes
+        self._blocks.append(block)
+        return codes
+
+    def _mvcc_check(self, rwset: RWSet, written_this_block: Set[str]) -> str:
+        for key, observed in rwset.reads:
+            if key in written_this_block:
+                return TxValidationCode.MVCC_READ_CONFLICT
+            current = self.state.version_of(key)
+            current_tuple = current.to_tuple() if current is not None else None
+            if current_tuple != observed:
+                return TxValidationCode.MVCC_READ_CONFLICT
+        for key, _ in rwset.writes:
+            if key in written_this_block:
+                return TxValidationCode.MVCC_READ_CONFLICT
+        return TxValidationCode.VALID
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def tx_status(self, tx_id: str) -> Tuple[str, Optional[int]]:
+        """(validation code, block number) for a transaction, or
+        (PENDING, None) when not yet committed."""
+        if tx_id in self._tx_index:
+            return self._tx_index[tx_id]
+        return (TxValidationCode.PENDING, None)
+
+    def committed_tx_ids(self) -> List[str]:
+        return list(self._tx_index)
+
+    def state_hash(self) -> str:
+        return self.state.state_hash()
+
+    # ------------------------------------------------------------------
+    # integrity
+
+    def validate_chain(self) -> bool:
+        """Recompute every hash link; False if any block was tampered with."""
+        for i in range(1, len(self._blocks)):
+            block = self._blocks[i]
+            if block.header.previous_hash != self._blocks[i - 1].digest():
+                return False
+            if block.data_digest() != block.header.data_hash:
+                return False
+        return True

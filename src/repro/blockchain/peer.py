@@ -1,0 +1,395 @@
+"""Blockchain peers: execute, vote, commit, synchronise.
+
+The paper's workflow (§4): the platform "(a) leverages an ordering
+service to determine the order of transactions …, (b) generates a block
+containing the ordered transactions, and (c) sends it to all peers for
+validation.  The peers then execute these transactions in order locally
+…, and vote for consensus on each event following which they update
+their copy of the ledger."
+
+Event validation therefore has two stages (§6, Optimizations):
+
+1. **peer consensus** — execute the block, exchange per-transaction
+   votes, commit once the consensus policy is decided for every
+   transaction in the block;
+2. **ledger synchronisation** — exchange post-commit state hashes; a
+   transaction's status only becomes observable to clients once a
+   majority of peers report the same state hash.
+
+Each peer serialises its CPU work (signature checks, contract
+execution, vote and sync-hash processing) on a single simulated core.
+Because every peer must process one vote and one sync hash from every
+other peer per block, per-block CPU grows linearly with the peer count
+— the mechanistic root of the paper's latency growth in Fig. 3c.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..simnet.latency import Region
+from ..simnet.topology import Host
+from .block import Block
+from .config import FabricConfig
+from .contracts import Contract, execute_transaction
+from .identity import Identity, MembershipProvider
+from .ledger import Ledger, TxExecution
+from .messages import (
+    DeliverBlock,
+    QueryTxStatus,
+    RequestBlocks,
+    SyncHashMsg,
+    TxStatusReply,
+    VoteMsg,
+)
+from .policy import ConsensusPolicy
+from .transaction import Transaction, TxValidationCode
+
+__all__ = ["Peer"]
+
+
+class Peer(Host):
+    """One blockchain peer (a player's network entity, §4.2)."""
+
+    def __init__(
+        self,
+        name: str,
+        region: str,
+        identity: Identity,
+        msp: MembershipProvider,
+        genesis: Block,
+        policy: ConsensusPolicy,
+        config: Optional[FabricConfig] = None,
+    ):
+        super().__init__(name, region)
+        self.identity = identity
+        self.msp = msp
+        self.policy = policy
+        self.config = config if config is not None else FabricConfig()
+        self.ledger = Ledger(genesis)
+        self.contracts: Dict[str, Contract] = {}
+
+        self._electorate: List[str] = [name]
+        self._peers: List[Host] = []
+        self.orderer: Optional[Host] = None  # for gap-recovery requests
+
+        self._pending_blocks: Dict[int, Block] = {}
+        self._executions: Dict[int, List[TxExecution]] = {}
+        self._votes: Dict[int, Dict[str, Tuple[bool, ...]]] = {}
+        self._sync_hashes: Dict[int, Dict[str, str]] = {}
+        self._own_hash: Dict[int, str] = {}
+
+        self._executed_height = 0
+        self._committed_height = 0
+        self._synced_height = 0
+        self._executing = False
+        self._commit_scheduled: Set[int] = set()
+        self._cpu_free_at = 0.0
+        self._sync_free_at = 0.0
+        # Catch-up state: blocks below this height were finalised by the
+        # rest of the network while we were unreachable; they commit from
+        # local (deterministic) execution without a fresh vote round.
+        self._catch_up_below = 0
+        self._backfill_requested_to = 0
+
+        #: Set when consensus contradicted this peer's own execution —
+        #: either the peer is faulty or it is being equivocated against.
+        self.diverged = False
+        #: sim-time each block became synchronised (for latency metrics).
+        self.block_synced_at: Dict[int, float] = {}
+        self.on_block_synced: Optional[Callable[[int, Block], None]] = None
+
+    # ------------------------------------------------------------------
+    # setup
+
+    def install_contract(self, contract: Contract) -> None:
+        """Install a smart contract (done by the initiator shim, §4.2.2)."""
+        self.contracts[contract.name] = contract
+
+    def connect_peers(self, peers: List["Peer"]) -> None:
+        """Declare the full electorate.  ``peers`` includes this peer."""
+        self._electorate = [p.name for p in peers]
+        self._peers = [p for p in peers if p.name != self.name]
+
+    @property
+    def electorate_size(self) -> int:
+        return len(self._electorate)
+
+    @property
+    def synced_height(self) -> int:
+        return self._synced_height
+
+    @property
+    def committed_height(self) -> int:
+        return self._committed_height
+
+    # ------------------------------------------------------------------
+    # CPU model
+
+    def _compute(self, cost_ms: float, fn: Callable, *args) -> None:
+        """Run ``fn`` after ``cost_ms`` of serialised CPU time."""
+        sched = self.network.scheduler
+        start = max(sched.now, self._cpu_free_at)
+        done = start + cost_ms
+        self._cpu_free_at = done
+        sched.call_at(done, fn, *args)
+
+    # ------------------------------------------------------------------
+    # message handling
+
+    def handle_message(self, src: Host, payload) -> None:
+        if isinstance(payload, DeliverBlock):
+            self._on_block(payload.block)
+        elif isinstance(payload, VoteMsg):
+            self._compute(self.config.vote_verify_ms, self._on_vote, payload)
+        elif isinstance(payload, SyncHashMsg):
+            self._compute(self.config.sync_verify_ms, self._on_sync_hash, payload)
+        elif isinstance(payload, QueryTxStatus):
+            self._on_query(src, payload)
+        else:
+            raise TypeError(f"peer cannot handle {type(payload).__name__}")
+
+    # ------------------------------------------------------------------
+    # stage 1: execute + vote
+
+    def _on_block(self, block: Block) -> None:
+        if block.number <= self._committed_height:
+            return  # duplicate delivery
+        self._pending_blocks.setdefault(block.number, block)
+        self._detect_gap(block.number)
+        self._maybe_execute()
+
+    def _detect_gap(self, delivered: int) -> None:
+        """A delivery with *missing predecessors* means we missed
+        deliveries while unreachable (e.g. DDoSed): request the range
+        from the ordering service and mark it finalised-elsewhere.
+
+        Ordinary pipelining — block n+1 arriving while block n is still
+        executing or collecting votes — is NOT a gap: those blocks are
+        buffered in ``_pending_blocks`` and commit normally.
+        """
+        nxt = self._committed_height + 1
+        missing = [
+            n
+            for n in range(nxt, delivered)
+            if n not in self._pending_blocks and n > self._executed_height
+        ]
+        if not missing:
+            return
+        self._catch_up_below = max(self._catch_up_below, delivered)
+        if self.orderer is None:
+            return
+        if max(missing) <= self._backfill_requested_to:
+            return  # already asked
+        self._backfill_requested_to = max(missing)
+        self.send(
+            self.orderer,
+            RequestBlocks(from_number=min(missing), to_number=max(missing)),
+            size_bytes=self.config.query_msg_bytes,
+        )
+
+    def _maybe_execute(self) -> None:
+        nxt = self._executed_height + 1
+        if self._executing or nxt not in self._pending_blocks:
+            return
+        if self._committed_height < nxt - 1:
+            return  # contract state basis for block n is block n-1's commit
+        block = self._pending_blocks[nxt]
+        self._executing = True
+        cost = len(block.transactions) * (
+            self.config.exec_ms_per_tx + self.config.sig_verify_ms
+        )
+        self._compute(cost, self._finish_execute, block)
+
+    def _finish_execute(self, block: Block) -> None:
+        executions: List[TxExecution] = []
+        overlay: Dict[str, object] = {}
+        written: Set[str] = set()
+        for tx in block.transactions:
+            execution = self._execute_one(tx, overlay, written)
+            executions.append(execution)
+            if execution.code == TxValidationCode.VALID:
+                for key, value in execution.rwset.writes:
+                    overlay[key] = value
+                    written.add(key)
+        self._executions[block.number] = executions
+        self._executed_height = block.number
+        self._executing = False
+
+        votes = tuple(e.code == TxValidationCode.VALID for e in executions)
+        self._record_vote(
+            VoteMsg(block_number=block.number, voter=self.name, votes=votes)
+        )
+        msg = VoteMsg(block_number=block.number, voter=self.name, votes=votes)
+        for peer in self._peers:
+            self.send(peer, msg, size_bytes=self.config.vote_msg_bytes)
+        self._try_commit(block.number)
+
+    def _execute_one(
+        self, tx: Transaction, overlay: Dict[str, object], written: Set[str]
+    ) -> TxExecution:
+        if self.config.verify_signatures:
+            if not self.msp.validate(tx.certificate):
+                return TxExecution(rwset=_empty_rwset(), code=TxValidationCode.BAD_CERTIFICATE)
+            if not tx.verify_signature():
+                return TxExecution(rwset=_empty_rwset(), code=TxValidationCode.BAD_SIGNATURE)
+        contract = self.contracts.get(tx.proposal.contract)
+        if contract is None:
+            return TxExecution(rwset=_empty_rwset(), code=TxValidationCode.UNKNOWN_CONTRACT)
+        execution = execute_transaction(contract, tx, self.ledger.state, overlay=overlay)
+        if execution.code != TxValidationCode.VALID:
+            return execution
+        # Block-level KVS lock: conflict with an earlier tx in this block
+        # invalidates this one (the ledger re-checks at commit; voting the
+        # same verdict keeps honest peers unanimous).
+        touched = set(execution.rwset.touched())
+        if touched & written:
+            return TxExecution(rwset=execution.rwset, code=TxValidationCode.MVCC_READ_CONFLICT)
+        return execution
+
+    # ------------------------------------------------------------------
+    # stage 1b: vote collection + commit
+
+    def _on_vote(self, msg: VoteMsg) -> None:
+        self._record_vote(msg)
+        self._try_commit(msg.block_number)
+
+    def _record_vote(self, msg: VoteMsg) -> None:
+        if msg.voter not in self._electorate:
+            return  # not part of this game session
+        if msg.block_number <= self._committed_height:
+            return  # already committed; late vote
+        self._votes.setdefault(msg.block_number, {})[msg.voter] = msg.votes
+
+    def _try_commit(self, block_number: int) -> None:
+        nxt = self._committed_height + 1
+        if block_number != nxt or self._executed_height < nxt:
+            return
+        if nxt in self._commit_scheduled:
+            return
+        block = self._pending_blocks.get(nxt)
+        executions = self._executions.get(nxt)
+        if block is None or executions is None:
+            return
+
+        if nxt < self._catch_up_below:
+            # Catch-up: the network finalised this block without us.
+            # Deterministic re-execution yields the consensus outcome.
+            decisions: List[Optional[bool]] = [
+                e.code == TxValidationCode.VALID for e in executions
+            ]
+        else:
+            total = len(self._electorate)
+            votes_by_peer = self._votes.get(nxt, {})
+            decisions = []
+            for i in range(len(block.transactions)):
+                per_tx = {
+                    voter: votes[i]
+                    for voter, votes in votes_by_peer.items()
+                    if i < len(votes)
+                }
+                decisions.append(
+                    self.policy.decided(per_tx, total, all_voters=self._electorate)
+                )
+            if any(d is None for d in decisions):
+                return  # consensus still open for some transaction
+
+        for execution, decision in zip(executions, decisions):
+            locally_valid = execution.code == TxValidationCode.VALID
+            if decision and not locally_valid:
+                self.diverged = True  # consensus accepted what we rejected
+            elif not decision and locally_valid:
+                execution.code = TxValidationCode.CONSENSUS_NOT_REACHED
+
+        self._commit_scheduled.add(block.number)
+        cost = self.config.commit_ms_per_tx * len(block.transactions)
+        self._compute(cost, self._finish_commit, block, executions)
+
+    def _finish_commit(self, block: Block, executions: List[TxExecution]) -> None:
+        if block.number != self._committed_height + 1:
+            return  # stale double-commit attempt
+        self.ledger.append(block, executions)
+        self._committed_height = block.number
+        self._pending_blocks.pop(block.number, None)
+        self._votes.pop(block.number, None)
+        self._commit_scheduled.discard(block.number)
+
+        # stage 2: ledger synchronisation.  State transfer runs on the
+        # gossip plane, separate from the CPU, but transfers one block at
+        # a time — which is why the paper's block-size optimisation
+        # "amortizes the cost of ledger synchronization across the
+        # transactions in a block" (§6): five single-tx blocks queue for
+        # five transfers, one five-tx block pays for one.
+        state_hash = self.ledger.state_hash()
+        transfer = (
+            self.config.sync_base_ms
+            + self.config.sync_per_peer_ms * len(self._electorate)
+        )
+        sched = self.network.scheduler
+        start = max(sched.now, self._sync_free_at)
+        done = start + transfer
+        self._sync_free_at = done
+        sched.call_at(done, self._announce_sync, block.number, state_hash)
+
+        # Execution of the next block can now proceed.
+        self._maybe_execute()
+
+    def _announce_sync(self, block_number: int, state_hash: str) -> None:
+        self._own_hash[block_number] = state_hash
+        msg = SyncHashMsg(
+            block_number=block_number, sender=self.name, state_hash=state_hash
+        )
+        self._record_sync_hash(msg)
+        for peer in self._peers:
+            self.send(peer, msg, size_bytes=self.config.sync_msg_bytes)
+        self._try_sync(block_number)
+
+    # ------------------------------------------------------------------
+    # stage 2: ledger synchronisation
+
+    def _on_sync_hash(self, msg: SyncHashMsg) -> None:
+        self._record_sync_hash(msg)
+        self._try_sync(msg.block_number)
+
+    def _record_sync_hash(self, msg: SyncHashMsg) -> None:
+        if msg.sender not in self._electorate:
+            return
+        if msg.block_number <= self._synced_height:
+            return  # already synchronised; late hash
+        self._sync_hashes.setdefault(msg.block_number, {})[msg.sender] = msg.state_hash
+
+    def _try_sync(self, block_number: int) -> None:
+        nxt = self._synced_height + 1
+        while True:
+            if nxt > self._committed_height or nxt not in self._own_hash:
+                return
+            own = self._own_hash[nxt]
+            hashes = self._sync_hashes.get(nxt, {})
+            matching = sum(1 for h in hashes.values() if h == own)
+            if matching * 2 <= len(self._electorate) and nxt >= self._catch_up_below:
+                return  # (catch-up blocks were synchronised network-wide
+                #          already; no fresh quorum will form for them)
+            self._synced_height = nxt
+            self.block_synced_at[nxt] = self.network.scheduler.now
+            self._sync_hashes.pop(nxt, None)
+            self._own_hash.pop(nxt, None)
+            synced_block = self.ledger.block(nxt)
+            if self.on_block_synced is not None:
+                self.on_block_synced(nxt, synced_block)
+            nxt = self._synced_height + 1
+
+    # ------------------------------------------------------------------
+    # client queries
+
+    def _on_query(self, src: Host, query: QueryTxStatus) -> None:
+        code, block = self.ledger.tx_status(query.tx_id)
+        if block is not None and block > self._synced_height:
+            code, block = TxValidationCode.PENDING, None
+        reply = TxStatusReply(tx_id=query.tx_id, code=code, block=block)
+        self.send(src, reply, size_bytes=self.config.query_msg_bytes)
+
+
+def _empty_rwset():
+    from .transaction import RWSet
+
+    return RWSet()

@@ -1,0 +1,103 @@
+"""Sharded deployment — the paper's §8(5) future-work direction.
+
+"Our prototype reports increasing validation latency with increasing
+peers, and cannot currently scale to MMORPGs … However, recent
+advancements [sharding, consensus algorithms] can help mitigate the
+issue."  This module implements the simplest such design: the room's
+peers are partitioned into ``n_shards`` independent chains, each chain
+owning a disjoint slice of the asset-key space (assets are already
+per-player per-asset keys, so slices are natural).  Consensus, vote
+traffic and ledger sync all scale with the *shard* size instead of the
+room size.
+
+The trade-off is explicit: each asset update is validated by a subset
+of the room, so the honest-majority assumption must hold per shard.
+``bench_ablation_sharding.py`` measures the latency side of the trade.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, List, Optional, Sequence
+
+from ..simnet.latency import INTERNET_US, LatencyProfile
+from ..simnet.transport import Network
+from .config import FabricConfig
+from .contracts import Contract
+from .identity import CertificateAuthority
+from .network import BlockchainNetwork
+from .policy import MAJORITY
+
+__all__ = ["ShardedDeployment"]
+
+
+class ShardedDeployment:
+    """``n_shards`` independent chains over one simulated network.
+
+    Keys are routed by stable hash: :meth:`shard_for_key` names the
+    chain responsible for a world-state key, and every client must
+    submit a transaction to the shard owning its touched keys
+    (cross-shard transactions are out of scope, as in the sharding
+    systems the paper cites — they partition by account/key too).
+    """
+
+    def __init__(
+        self,
+        n_peers: int,
+        n_shards: int,
+        profile: LatencyProfile = INTERNET_US,
+        config: Optional[FabricConfig] = None,
+        policy: str = MAJORITY,
+        seed: int = 0,
+    ):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if n_peers < n_shards:
+            raise ValueError("need at least one peer per shard")
+        self.n_shards = n_shards
+        self.net = Network(profile=profile, seed=seed)
+        self.ca = CertificateAuthority(seed=seed)
+        base, extra = divmod(n_peers, n_shards)
+        self.shards: List[BlockchainNetwork] = []
+        for index in range(n_shards):
+            size = base + (1 if index < extra else 0)
+            self.shards.append(
+                BlockchainNetwork(
+                    n_peers=size,
+                    profile=profile,
+                    config=config,
+                    policy=policy,
+                    seed=seed + index,
+                    net=self.net,
+                    ca=self.ca,
+                    name_prefix=f"s{index}-",
+                )
+            )
+
+    @property
+    def n_peers(self) -> int:
+        return sum(len(shard.peers) for shard in self.shards)
+
+    def shard_index_for_key(self, key: str) -> int:
+        digest = hashlib.sha256(key.encode()).digest()
+        return digest[0] % self.n_shards
+
+    def shard_for_key(self, key: str) -> BlockchainNetwork:
+        return self.shards[self.shard_index_for_key(key)]
+
+    def install_contract(self, factory: Callable[[], Contract]) -> None:
+        for shard in self.shards:
+            shard.install_contract(factory)
+
+    # ------------------------------------------------------------------
+    # convenience
+
+    @property
+    def scheduler(self):
+        return self.net.scheduler
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        self.net.run_until_idle(max_events=max_events)
+
+    def all_synced(self) -> bool:
+        return all(shard.all_synced() for shard in self.shards)

@@ -1,0 +1,99 @@
+"""Versioned world-state key-value store with MVCC semantics.
+
+Fabric v1.0 validates transactions against the *versions* of the keys
+they read: a transaction whose read set mentions a key at version ``v``
+is invalidated if the committed version has moved past ``v`` — including
+when an earlier transaction *in the same block* wrote the key ("Fabric
+acquires a block-level read/write lock on the KVS", §6).  This is the
+mechanism the paper's per-player-per-asset KVS split (§6 optimisation i)
+exists to sidestep, so we implement it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .crypto import canonical_digest
+
+__all__ = ["Version", "VersionedValue", "WorldState"]
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """Height of the last write to a key: (block number, tx index)."""
+
+    block: int
+    tx: int
+
+    def to_tuple(self) -> Tuple[int, int]:
+        return (self.block, self.tx)
+
+
+#: Version assigned to keys written by the genesis configuration.
+GENESIS_VERSION = Version(0, 0)
+
+
+@dataclass
+class VersionedValue:
+    value: Any
+    version: Version
+
+
+class WorldState:
+    """The world state: a key → (value, version) map.
+
+    Keys are plain strings; the smart-contract layer builds composite keys
+    such as ``"asset/<player>/<assetId>"`` (per-player per-asset split) or
+    ``"player/<player>"`` (the conflict-prone monolithic layout).
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, VersionedValue] = {}
+
+    def get(self, key: str) -> Optional[Any]:
+        entry = self._data.get(key)
+        return entry.value if entry is not None else None
+
+    def get_versioned(self, key: str) -> Optional[VersionedValue]:
+        return self._data.get(key)
+
+    def version_of(self, key: str) -> Optional[Version]:
+        entry = self._data.get(key)
+        return entry.version if entry is not None else None
+
+    def put(self, key: str, value: Any, version: Version) -> None:
+        self._data[key] = VersionedValue(value=value, version=version)
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def items(self) -> Iterator[Tuple[str, VersionedValue]]:
+        return iter(self._data.items())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain value snapshot (for assertions and state transfer)."""
+        return {k: v.value for k, v in self._data.items()}
+
+    def state_hash(self) -> str:
+        """Deterministic digest of the full state, used by the ledger-sync
+        round: peers agree a block is synchronised when their state hashes
+        match."""
+        return canonical_digest(
+            {k: [v.value, v.version.to_tuple()] for k, v in sorted(self._data.items())}
+        )
+
+    def copy(self) -> "WorldState":
+        clone = WorldState()
+        for k, v in self._data.items():
+            clone._data[k] = VersionedValue(value=v.value, version=v.version)
+        return clone

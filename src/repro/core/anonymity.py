@@ -1,0 +1,94 @@
+"""Player anonymity: certificate ↔ player-identity mapping (§4.2.2).
+
+"The initiator shim starts a protocol to generate random numbers at
+each peer's shim using secure multi-party computation, and maps each
+peer's certificate with its generated random number (representing
+unique player identities). … Note that this sensitive communication
+happens out-of-band and is not stored on the public ledger."
+
+The random identities come from the commit-reveal RNG of ``repro.rng``
+(one round per peer), so no single shim can bias its own — or anyone
+else's — player number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..blockchain.identity import Certificate
+from ..rng import Participant, distributed_random
+
+__all__ = ["AnonymityError", "AnonymityDirectory", "build_directory"]
+
+_ID_SPACE = 2**32
+
+
+class AnonymityError(RuntimeError):
+    """Mapping construction or lookup failure."""
+
+
+@dataclass
+class AnonymityDirectory:
+    """Each shim's private copy of the cert ↔ player-identity mapping.
+
+    The contract never sees it: "the contract at each peer has no
+    knowledge of other peer's certificate to player identity mapping",
+    which anonymises players in the contract without changing game code.
+    """
+
+    _by_subject: Dict[str, str]
+    _by_player: Dict[str, str]
+
+    def player_for(self, certificate_subject: str) -> str:
+        try:
+            return self._by_subject[certificate_subject]
+        except KeyError:
+            raise AnonymityError(
+                f"no player identity for certificate {certificate_subject!r}"
+            ) from None
+
+    def subject_for(self, player_identity: str) -> str:
+        try:
+            return self._by_player[player_identity]
+        except KeyError:
+            raise AnonymityError(
+                f"no certificate for player identity {player_identity!r}"
+            ) from None
+
+    def players(self) -> List[str]:
+        return list(self._by_player)
+
+    def __len__(self) -> int:
+        return len(self._by_subject)
+
+
+def build_directory(
+    certificates: List[Certificate], session_seed=0
+) -> AnonymityDirectory:
+    """Run one multi-party RNG round per peer to assign identities.
+
+    Every peer contributes to every round, so a single honest
+    participant guarantees unbiased identities.  Collisions (vanishingly
+    rare in a 32-bit space for ≤64 players) are resolved by re-rolling.
+    """
+    if not certificates:
+        raise AnonymityError("no certificates to anonymise")
+    subjects = [c.subject for c in certificates]
+    by_subject: Dict[str, str] = {}
+    by_player: Dict[str, str] = {}
+    for subject in subjects:
+        attempt = 0
+        while True:
+            participants = [
+                Participant(peer, seed=f"{session_seed}:{subject}:{attempt}")
+                for peer in subjects
+            ]
+            value, _cheaters = distributed_random(participants, modulus=_ID_SPACE)
+            player_id = f"player-{value:08x}"
+            if player_id not in by_player:
+                break
+            attempt += 1
+        by_subject[subject] = player_id
+        by_player[player_id] = subject
+    return AnonymityDirectory(_by_subject=by_subject, _by_player=by_player)

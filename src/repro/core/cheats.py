@@ -1,0 +1,321 @@
+"""Doom's built-in cheats, classified and injectable (§3.2, §7.2.2).
+
+"Doom supports a total of 15 cheats built into the game, of which only
+10 are relevant in our context.  The remaining 5 do not affect the
+relevant game state at the server … they only impact client-side
+rendering."
+
+Each *relevant* cheat has an injector that produces the offending
+transaction(s) through a cheater's shim; prevention means the peers
+refuse consensus (the transaction commits as invalid) and the
+authoritative state is unchanged.  Cheat-prevention latency is "the
+duration between the offending cheat event reaching the shim and the
+failure notification received for the corresponding event" — exactly
+the per-event latency the shim records.
+
+Protocol-level cheats (replay, spoofing) are injected at the
+transaction layer rather than as game events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..blockchain.transaction import TxValidationCode
+from ..game.assets import AssetId
+from ..game.doom import DoomMap, DoomRules, MapItem, WeaponId
+from ..game.events import EventType, GameEvent
+from .session import GameSession
+from .shim import Shim
+
+__all__ = ["CheatDef", "CheatResult", "CheatInjector", "DOOM_CHEATS", "relevant_cheats"]
+
+
+@dataclass(frozen=True)
+class CheatDef:
+    """One built-in cheat code and its classification."""
+
+    code: str
+    description: str
+    category: str  # "game" | "application" | "protocol" | "infrastructure"
+    relevant: bool  # affects server-observable state (preventable)
+    injector: Optional[str] = None  # CheatInjector method name
+
+
+@dataclass
+class CheatResult:
+    """Outcome of one injection."""
+
+    cheat: CheatDef
+    prevented: bool
+    validation_code: str
+    prevention_latency_ms: Optional[float]
+
+
+#: All 15 built-in cheats of (Chocolate) Doom.  The five client-only
+#: cheats have no injector: they never reach the shim because they do
+#: not touch tracked assets — unpreventable in C/S too (§7.2.2).
+DOOM_CHEATS: List[CheatDef] = [
+    CheatDef("IDDQD", "degreelessness mode: restore/pin health illegally",
+             "application", True, "inject_iddqd"),
+    CheatDef("IDKFA", "very happy ammo: claim full ammo without pickup",
+             "application", True, "inject_idkfa"),
+    CheatDef("IDFA", "ammo (no keys): claim a weapon without pickup",
+             "application", True, "inject_idfa"),
+    CheatDef("IDCHOPPERS", "chainsaw without traversing its map location",
+             "application", True, "inject_idchoppers"),
+    CheatDef("IDCLIP", "no clipping: move through geometry/teleport",
+             "application", True, "inject_idclip"),
+    CheatDef("IDCLEV", "level warp: jump to an arbitrary position",
+             "application", True, "inject_idclev"),
+    CheatDef("IDBEHOLDV", "invulnerability without the power-up",
+             "application", True, "inject_idbeholdv"),
+    CheatDef("IDBEHOLDS", "berserk without the power-up",
+             "application", True, "inject_idbeholds"),
+    CheatDef("IDBEHOLDI", "invisibility without the power-up",
+             "application", True, "inject_idbeholdi"),
+    CheatDef("IDBEHOLDR", "radiation suit without the power-up",
+             "application", True, "inject_idbeholdr"),
+    CheatDef("IDBEHOLDA", "automap reveal (client-side rendering only)",
+             "game", False),
+    CheatDef("IDBEHOLDL", "light amplification (client-side only)",
+             "game", False),
+    CheatDef("IDDT", "full map display (client-side only)", "game", False),
+    CheatDef("IDMYPOS", "show own coordinates (client-side only)", "game", False),
+    CheatDef("IDMUS", "music change (client-side only)", "game", False),
+]
+
+#: Protocol-level attacks from the attack model (§3.2(3)), also
+#: exercised by the Table 3 bench.
+PROTOCOL_CHEATS: List[CheatDef] = [
+    CheatDef("REPLAY", "re-submit a previously committed event",
+             "protocol", True, "inject_replay"),
+    CheatDef("SPOOF", "forge another player's transaction signature",
+             "protocol", True, "inject_spoof"),
+]
+
+
+def relevant_cheats() -> List[CheatDef]:
+    return [c for c in DOOM_CHEATS if c.relevant]
+
+
+class CheatInjector:
+    """Injects cheats through one shim of a running session."""
+
+    def __init__(self, session: GameSession, shim: Optional[Shim] = None):
+        if not session.started:
+            raise RuntimeError("set up the session before injecting cheats")
+        self.session = session
+        self.shim = shim if shim is not None else session.shims[0]
+        self._seq = 1_000_000  # far above any demo sequence number
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _far_item(self, kind: str) -> MapItem:
+        """An item of ``kind`` well outside pickup range of the player.
+
+        The player's authoritative position is refreshed first so the
+        locality check cannot be evaded through staleness slack.
+        """
+        self._refresh_position()
+        game_map = self.session.network.game_map
+        pos = self._player_position()
+        candidates = game_map.items_of_kind(kind)
+        if not candidates:
+            raise RuntimeError(f"map has no item of kind {kind!r}")
+        far = max(candidates, key=lambda i: math.hypot(i.x - pos[0], i.y - pos[1]))
+        return far
+
+    def _player_position(self) -> Tuple[float, float]:
+        state = self.session.chain.peers[0].ledger.state
+        from ..game.assets import asset_key
+
+        pos = state.get(asset_key(self.shim.player, AssetId.POSITION))
+        if pos is None:
+            raise RuntimeError("player has no authoritative position")
+        return pos["x"], pos["y"]
+
+    def _inject_and_wait(self, event: GameEvent) -> CheatResult:
+        before = len(self.shim.stats.latencies_ms)
+        self.shim.on_game_event(event)
+        self.session.run_until_idle()
+        codes = self.shim.stats.rejections_by_code
+        latency = (
+            self.shim.stats.latencies_ms[before]
+            if len(self.shim.stats.latencies_ms) > before
+            else None
+        )
+        return before, codes, latency
+
+    def _game_event_cheat(
+        self, cheat: CheatDef, etype: str, payload: Dict
+    ) -> CheatResult:
+        event = GameEvent(
+            t_ms=self.session.now, player=self.shim.player, etype=etype,
+            payload=payload, seq=self._next_seq(),
+        )
+        rejected_before = self.shim.stats.rejected_events
+        _, _, latency = self._inject_and_wait(event)
+        prevented = self.shim.stats.rejected_events > rejected_before
+        code = TxValidationCode.CONTRACT_REJECTED if prevented else TxValidationCode.VALID
+        return CheatResult(cheat, prevented, code, latency)
+
+    # ------------------------------------------------------------------
+    # application cheats (illegal asset updates)
+
+    def inject_iddqd(self, cheat: CheatDef) -> CheatResult:
+        """Claim a medkit heal while nowhere near a medkit."""
+        item = self._far_item("medkit")
+        return self._game_event_cheat(
+            cheat, EventType.PICKUP_MEDKIT,
+            {"item_id": item.item_id, "t": self.session.now},
+        )
+
+    def inject_idkfa(self, cheat: CheatDef) -> CheatResult:
+        """Claim an ammo clip while nowhere near one."""
+        item = self._far_item("clip")
+        return self._game_event_cheat(
+            cheat, EventType.PICKUP_CLIP,
+            {"item_id": item.item_id, "t": self.session.now},
+        )
+
+    def inject_idfa(self, cheat: CheatDef) -> CheatResult:
+        """Claim a distant weapon (shotgun) without traversing to it."""
+        item = self._far_item(f"weapon:{WeaponId.SHOTGUN}")
+        return self._game_event_cheat(
+            cheat, EventType.PICKUP_WEAPON,
+            {"wid": WeaponId.SHOTGUN, "item_id": item.item_id, "t": self.session.now},
+        )
+
+    def inject_idchoppers(self, cheat: CheatDef) -> CheatResult:
+        """The paper's worked example: a chainsaw from across the map."""
+        item = self._far_item(f"weapon:{WeaponId.CHAINSAW}")
+        return self._game_event_cheat(
+            cheat, EventType.PICKUP_WEAPON,
+            {"wid": WeaponId.CHAINSAW, "item_id": item.item_id, "t": self.session.now},
+        )
+
+    def _refresh_position(self) -> Tuple[float, float]:
+        """Send a legitimate location update so the authoritative sample
+        is fresh — the speed check is relative to the last stored time."""
+        x, y = self._player_position()
+        legit = GameEvent(
+            t_ms=self.session.now, player=self.shim.player,
+            etype=EventType.LOCATION,
+            payload={"x": x, "y": y, "t": self.session.now},
+            seq=self._next_seq(),
+        )
+        self.shim.on_game_event(legit)
+        self.session.run_until_idle()
+        return x, y
+
+    def inject_idclip(self, cheat: CheatDef) -> CheatResult:
+        """Teleport 1000 units in one tick (wall clipping looks like an
+        impossible displacement to the asset tracker)."""
+        x, y = self._refresh_position()
+        return self._game_event_cheat(
+            cheat, EventType.LOCATION,
+            {"x": x + 1000.0, "y": y, "t": self.session.now + DoomRules.TICK_MS},
+        )
+
+    def inject_idclev(self, cheat: CheatDef) -> CheatResult:
+        """Warp to the far corner of the map."""
+        self._refresh_position()
+        game_map = self.session.network.game_map
+        return self._game_event_cheat(
+            cheat, EventType.LOCATION,
+            {"x": game_map.width - 130.0, "y": game_map.height - 130.0,
+             "t": self.session.now + DoomRules.TICK_MS},
+        )
+
+    def inject_idbeholdv(self, cheat: CheatDef) -> CheatResult:
+        item = self._far_item("invuln")
+        return self._game_event_cheat(
+            cheat, EventType.PICKUP_INVULN,
+            {"item_id": item.item_id, "t": self.session.now},
+        )
+
+    def inject_idbeholds(self, cheat: CheatDef) -> CheatResult:
+        item = self._far_item("berserk")
+        return self._game_event_cheat(
+            cheat, EventType.PICKUP_BERSERK,
+            {"item_id": item.item_id, "t": self.session.now},
+        )
+
+    def inject_idbeholdi(self, cheat: CheatDef) -> CheatResult:
+        item = self._far_item("invis")
+        return self._game_event_cheat(
+            cheat, EventType.PICKUP_INVIS,
+            {"item_id": item.item_id, "t": self.session.now},
+        )
+
+    def inject_idbeholdr(self, cheat: CheatDef) -> CheatResult:
+        item = self._far_item("radsuit")
+        return self._game_event_cheat(
+            cheat, EventType.PICKUP_RADSUIT,
+            {"item_id": item.item_id, "t": self.session.now},
+        )
+
+    # ------------------------------------------------------------------
+    # protocol cheats (transaction-level)
+
+    def inject_replay(self, cheat: CheatDef) -> CheatResult:
+        """Submit a legitimate shoot, then replay its exact nonce."""
+        results: List = []
+        start = self.session.now
+        tx1 = self.shim.build_transaction(
+            self.shim.contract_name, EventType.SHOOT,
+            ({"count": 1, "t": start},), nonce="replayed-nonce",
+        )
+        self.shim.submit(tx1, on_complete=lambda r, l: results.append((r, l)))
+        self.session.run_until_idle()
+        tx2 = self.shim.build_transaction(
+            self.shim.contract_name, EventType.SHOOT,
+            ({"count": 1, "t": self.session.now},), nonce="replayed-nonce",
+        )
+        self.shim.submit(tx2, on_complete=lambda r, l: results.append((r, l)))
+        self.session.run_until_idle()
+        first, second = results[0][0], results[1][0]
+        prevented = (
+            first.code == TxValidationCode.VALID
+            and second.code == TxValidationCode.DUPLICATE_NONCE
+        )
+        return CheatResult(cheat, prevented, second.code, results[1][1])
+
+    def inject_spoof(self, cheat: CheatDef) -> CheatResult:
+        """Submit a transaction whose signature does not verify."""
+        results: List = []
+        tx = self.shim.build_transaction(
+            self.shim.contract_name, EventType.SHOOT,
+            ({"count": 1, "t": self.session.now},),
+        )
+        forged = type(tx)(proposal=tx.proposal, certificate=tx.certificate,
+                          signature=424242)
+        self.shim.submit(forged, on_complete=lambda r, l: results.append((r, l)))
+        self.session.run_until_idle()
+        result, latency = results[0]
+        prevented = result.code == TxValidationCode.BAD_SIGNATURE
+        return CheatResult(cheat, prevented, result.code, latency)
+
+    # ------------------------------------------------------------------
+    # driver
+
+    def run(self, cheat: CheatDef) -> CheatResult:
+        if cheat.injector is None:
+            raise ValueError(
+                f"{cheat.code} is client-only: it never reaches the shim"
+            )
+        return getattr(self, cheat.injector)(cheat)
+
+    def run_all_relevant(self) -> List[CheatResult]:
+        out = []
+        for cheat in relevant_cheats():
+            out.append(self.run(cheat))
+        return out

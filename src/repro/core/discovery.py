@@ -1,0 +1,143 @@
+"""Peer discovery (§4.2.1).
+
+"Our approach assumes that there is one starting peer, akin to the
+player starting a game room. … the shim advertises the smart contract
+for the game and its associated consensus policy.  Specifically, it
+listens for incoming connections from other peers for a designated time
+duration.  Interested peers communicate their intent to play the game
+by sending their credentials, i.e., PKI certificates and IP address, to
+the initiator shim."
+
+The prototype's discovery is "REST-ful … for ease of implementation"
+(§6 iii); here it is message-driven over the simulated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..blockchain.identity import Certificate
+from ..simnet.topology import Host
+
+__all__ = [
+    "Advertisement",
+    "JoinRequest",
+    "JoinAccepted",
+    "JoinRejected",
+    "DiscoveryListener",
+    "JoiningPeer",
+]
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """What the initiator advertises: the contract and consensus policy."""
+
+    game: str
+    contract_digest: str
+    consensus_policy: str
+    listen_window_ms: float
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """A peer's credentials: PKI certificate and IP address."""
+
+    certificate: Certificate
+    ip_address: str
+
+
+@dataclass(frozen=True)
+class JoinAccepted:
+    game: str
+    roster_position: int
+
+
+@dataclass(frozen=True)
+class JoinRejected:
+    game: str
+    reason: str
+
+
+class DiscoveryListener(Host):
+    """The initiator shim's listener.
+
+    Accepts join requests while the window is open (and the room has
+    space), then closes with the final roster.  ``on_closed`` receives
+    the list of accepted :class:`JoinRequest` objects.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        region: str,
+        advertisement: Advertisement,
+        max_peers: int,
+        validate_certificate: Callable[[Certificate], bool],
+        on_closed: Optional[Callable[[List[JoinRequest]], None]] = None,
+    ):
+        super().__init__(name, region)
+        if max_peers < 1:
+            raise ValueError("a game room needs at least one slot")
+        self.advertisement = advertisement
+        self.max_peers = max_peers
+        self.validate_certificate = validate_certificate
+        self.on_closed = on_closed
+        self.roster: List[JoinRequest] = []
+        self.closed = False
+        self._window_timer = None
+
+    def open(self) -> None:
+        """Start listening for the advertised window."""
+        self._window_timer = self.network.scheduler.call_after(
+            self.advertisement.listen_window_ms, self.close
+        )
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        if self._window_timer is not None:
+            self._window_timer.cancel()
+        if self.on_closed is not None:
+            self.on_closed(list(self.roster))
+
+    def handle_message(self, src: Host, payload) -> None:
+        if not isinstance(payload, JoinRequest):
+            raise TypeError(f"listener cannot handle {type(payload).__name__}")
+        reply = self._consider(payload)
+        self.send(src, reply, size_bytes=256)
+        if len(self.roster) >= self.max_peers:
+            self.close()
+
+    def _consider(self, request: JoinRequest):
+        if self.closed:
+            return JoinRejected(self.advertisement.game, "listen window closed")
+        if len(self.roster) >= self.max_peers:
+            return JoinRejected(self.advertisement.game, "game room is full")
+        if any(r.certificate.subject == request.certificate.subject for r in self.roster):
+            return JoinRejected(self.advertisement.game, "already joined")
+        if not self.validate_certificate(request.certificate):
+            return JoinRejected(self.advertisement.game, "invalid certificate")
+        self.roster.append(request)
+        return JoinAccepted(self.advertisement.game, len(self.roster) - 1)
+
+
+class JoiningPeer(Host):
+    """A peer that answers an advertisement with its credentials."""
+
+    def __init__(self, name: str, region: str, certificate: Certificate, ip: str):
+        super().__init__(name, region)
+        self.certificate = certificate
+        self.ip = ip
+        self.outcome = None  # JoinAccepted / JoinRejected
+
+    def join(self, listener: DiscoveryListener) -> None:
+        self.send(listener, JoinRequest(self.certificate, self.ip), size_bytes=2048)
+
+    def handle_message(self, src: Host, payload) -> None:
+        if isinstance(payload, (JoinAccepted, JoinRejected)):
+            self.outcome = payload
+        else:
+            raise TypeError(f"joining peer cannot handle {type(payload).__name__}")

@@ -1,0 +1,106 @@
+"""The full Doom constraint specification (Fig. 1, completed).
+
+The paper's Fig. 1 shows a snippet; this is the complete instance the
+prototype registers: 9 assets, 11 events and up to 4 players (Doom's
+multi-player maximum).
+
+The constraint language expresses additive/multiplicative asset updates
+with bounds.  Structured behaviour (position geometry, item pickups at
+map locations, per-weapon ammo costs) is the "additional logic [that]
+must be added by the developer himself" (§4.1.2) — see
+``repro.core.doom_contract``.
+"""
+
+from __future__ import annotations
+
+from .spec import GameSpec, parse_spec
+
+__all__ = ["DOOM_SPEC_XML", "doom_spec"]
+
+DOOM_SPEC_XML = """
+<GameSpec name="Doom">
+  <Assets>
+    <Asset aId="1" value="100" name="Health" min="0" max="200">
+      <power pwId="0" change="+" factor="-1" />
+      <power pwId="2" change="+" factor="1" />
+      <power pwId="3" change="+" factor="25" />
+    </Asset>
+    <Asset aId="2" value="50" name="Ammunition" min="0" max="400">
+      <power pwId="0" change="+" factor="-1" />
+      <power pwId="1" change="+" factor="10" />
+      <power pwId="2" change="+" factor="20" />
+    </Asset>
+    <Asset aId="3" value="2" name="Weapon" min="0" max="7">
+      <power pwId="0" change="+" factor="1" />
+      <power pwId="1" change="+" factor="-1" />
+    </Asset>
+    <Asset aId="4" value="0" name="Armor" min="0" max="200">
+      <power pwId="0" change="+" factor="-1" />
+      <power pwId="1" change="+" factor="100" />
+    </Asset>
+    <Asset aId="5" value="0" name="Keys" min="0" max="7">
+      <power pwId="0" change="+" factor="1" />
+    </Asset>
+    <Asset aId="6" value="0" name="Position" min="0">
+      <power pwId="0" change="+" factor="1" />
+    </Asset>
+    <Asset aId="7" value="0" name="Invisibility" min="0">
+      <power pwId="0" change="+" factor="1" />
+    </Asset>
+    <Asset aId="8" value="0" name="RadiationSuit" min="0">
+      <power pwId="0" change="+" factor="1" />
+    </Asset>
+    <Asset aId="9" value="0" name="Berserk" min="0">
+      <power pwId="0" change="+" factor="1" />
+    </Asset>
+  </Assets>
+  <Players>
+    <player pId="1"> Player 1 </player>
+    <player pId="2"> Player 2 </player>
+    <player pId="3"> Player 3 </player>
+    <player pId="4"> Player 4 </player>
+  </Players>
+  <Events>
+    <Event eId="1" name="Shoot">
+      <affects pId="self" aId="2" pwId="0" />
+    </Event>
+    <Event eId="2" name="WeaponChange">
+      <affects pId="self" aId="3" pwId="0" />
+    </Event>
+    <Event eId="3" name="Damage">
+      <affects pId="self" aId="1" pwId="0" />
+    </Event>
+    <Event eId="4" name="PickupWeapon">
+      <affects pId="self" aId="3" pwId="0" />
+      <affects pId="self" aId="2" pwId="2" />
+    </Event>
+    <Event eId="5" name="PickupClip">
+      <affects pId="self" aId="2" pwId="1" />
+    </Event>
+    <Event eId="6" name="PickupMedkit">
+      <affects pId="self" aId="1" pwId="3" />
+    </Event>
+    <Event eId="7" name="PickupRadsuit">
+      <affects pId="self" aId="8" pwId="0" />
+    </Event>
+    <Event eId="8" name="PickupInvuln">
+      <affects pId="self" aId="1" pwId="2" />
+    </Event>
+    <Event eId="9" name="PickupInvis">
+      <affects pId="self" aId="7" pwId="0" />
+    </Event>
+    <Event eId="10" name="PickupBerserk">
+      <affects pId="self" aId="9" pwId="0" />
+      <affects pId="self" aId="1" pwId="3" />
+    </Event>
+    <Event eId="11" name="Location">
+      <affects pId="self" aId="6" pwId="0" />
+    </Event>
+  </Events>
+</GameSpec>
+"""
+
+
+def doom_spec() -> GameSpec:
+    """The parsed, validated Doom specification."""
+    return parse_spec(DOOM_SPEC_XML)

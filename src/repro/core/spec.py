@@ -1,0 +1,256 @@
+"""The constraint-specification language of Table 1.
+
+    Power   (pwId, change, factor)   pwId ∈ N, change ∈ {+, ×}, factor ∈ Z
+    Asset   (aId, value, name, {power})   aId ∈ N, value ∈ R≥0
+    Player  {pId}                    1 ≤ pId ≤ MaxP
+    Affects (pId, aId, pwId)         pId ∈ (N ∪ {self, *})
+    Event   (eId, name, {affects})   1 ≤ eId ≤ MaxE
+
+Specifications are written in the XML dialect of Fig. 1 and parsed into
+the dataclasses below; :mod:`repro.core.codegen` turns a parsed spec
+into smart-contract source code.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "SpecError",
+    "PowerSpec",
+    "AssetSpec",
+    "PlayerSpec",
+    "AffectsSpec",
+    "EventSpec",
+    "GameSpec",
+    "parse_spec",
+]
+
+#: Table 1's bounds on player and event identifiers.
+MAX_PLAYERS = 64
+MAX_EVENTS = 64
+
+ADDITIVE = "+"
+MULTIPLICATIVE = "x"
+_CHANGE_ALIASES = {"+": ADDITIVE, "x": MULTIPLICATIVE, "×": MULTIPLICATIVE, "*": MULTIPLICATIVE}
+
+SELF = "self"
+ANY = "*"
+
+
+class SpecError(ValueError):
+    """A malformed or internally inconsistent specification."""
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """A mode of operation of an asset: how its value changes."""
+
+    pw_id: int
+    change: str  # ADDITIVE or MULTIPLICATIVE
+    factor: int
+
+    def apply(self, value: float) -> float:
+        if self.change == ADDITIVE:
+            return value + self.factor
+        return value * self.factor
+
+
+@dataclass(frozen=True)
+class AssetSpec:
+    aid: int
+    value: float  # default valuation, ∈ R≥0
+    name: str
+    powers: Tuple[PowerSpec, ...] = ()
+    #: optional bounds enforced by the generated contract
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def power(self, pw_id: int) -> PowerSpec:
+        for power in self.powers:
+            if power.pw_id == pw_id:
+                return power
+        raise SpecError(f"asset {self.name!r} has no power {pw_id}")
+
+
+@dataclass(frozen=True)
+class PlayerSpec:
+    pid: int
+    name: str
+
+
+@dataclass(frozen=True)
+class AffectsSpec:
+    """One effect of an event: apply power ``pw_id`` of asset ``aid`` to
+    player ``pid`` (a fixed id, ``self`` = the submitting player, or
+    ``*`` = a target player named in the event arguments)."""
+
+    pid: Union[int, str]
+    aid: int
+    pw_id: int
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    eid: int
+    name: str
+    affects: Tuple[AffectsSpec, ...] = ()
+
+
+@dataclass
+class GameSpec:
+    """A complete parsed game specification."""
+
+    name: str
+    assets: Dict[int, AssetSpec]
+    players: Dict[int, PlayerSpec]
+    events: Dict[int, EventSpec]
+
+    def asset_by_name(self, name: str) -> AssetSpec:
+        for asset in self.assets.values():
+            if asset.name == name:
+                return asset
+        raise SpecError(f"no asset named {name!r}")
+
+    def event_by_name(self, name: str) -> EventSpec:
+        for event in self.events.values():
+            if event.name == name:
+                return event
+        raise SpecError(f"no event named {name!r}")
+
+    def validate(self) -> None:
+        """Check Table 1's constraints and referential integrity."""
+        for asset in self.assets.values():
+            if asset.aid < 0:
+                raise SpecError(f"aId must be a natural number, got {asset.aid}")
+            if asset.value < 0:
+                raise SpecError(
+                    f"asset {asset.name!r} default value must be >= 0"
+                )
+            pw_ids = [p.pw_id for p in asset.powers]
+            if len(pw_ids) != len(set(pw_ids)):
+                raise SpecError(f"duplicate power ids on asset {asset.name!r}")
+        for player in self.players.values():
+            if not 1 <= player.pid <= MAX_PLAYERS:
+                raise SpecError(f"pId {player.pid} outside [1, {MAX_PLAYERS}]")
+        for event in self.events.values():
+            if not 1 <= event.eid <= MAX_EVENTS:
+                raise SpecError(f"eId {event.eid} outside [1, {MAX_EVENTS}]")
+            for affects in event.affects:
+                if affects.aid not in self.assets:
+                    raise SpecError(
+                        f"event {event.name!r} affects unknown asset {affects.aid}"
+                    )
+                asset = self.assets[affects.aid]
+                asset.power(affects.pw_id)  # raises if missing
+                if isinstance(affects.pid, int) and affects.pid not in self.players:
+                    raise SpecError(
+                        f"event {event.name!r} affects unknown player {affects.pid}"
+                    )
+                if isinstance(affects.pid, str) and affects.pid not in (SELF, ANY):
+                    raise SpecError(
+                        f"event {event.name!r} has invalid pId {affects.pid!r}"
+                    )
+
+
+def _parse_int(text: Optional[str], what: str) -> int:
+    try:
+        return int(text)
+    except (TypeError, ValueError):
+        raise SpecError(f"{what} must be an integer, got {text!r}") from None
+
+
+def _parse_power(node: ET.Element) -> PowerSpec:
+    change_raw = node.get("change", "")
+    change = _CHANGE_ALIASES.get(change_raw)
+    if change is None:
+        raise SpecError(f"power change must be '+' or 'x', got {change_raw!r}")
+    return PowerSpec(
+        pw_id=_parse_int(node.get("pwId"), "pwId"),
+        change=change,
+        factor=_parse_int(node.get("factor"), "factor"),
+    )
+
+
+def _parse_asset(node: ET.Element) -> AssetSpec:
+    try:
+        value = float(node.get("value"))
+    except (TypeError, ValueError):
+        raise SpecError(f"asset value must be a number, got {node.get('value')!r}")
+    minimum = node.get("min")
+    maximum = node.get("max")
+    return AssetSpec(
+        aid=_parse_int(node.get("aId"), "aId"),
+        value=value,
+        name=node.get("name", f"asset{node.get('aId')}"),
+        powers=tuple(_parse_power(p) for p in node.findall("power")),
+        minimum=float(minimum) if minimum is not None else None,
+        maximum=float(maximum) if maximum is not None else None,
+    )
+
+
+def _parse_affects(node: ET.Element) -> AffectsSpec:
+    pid_raw = node.get("pId", "")
+    pid: Union[int, str]
+    if pid_raw in (SELF, ANY):
+        pid = pid_raw
+    else:
+        pid = _parse_int(pid_raw, "pId")
+    return AffectsSpec(
+        pid=pid,
+        aid=_parse_int(node.get("aId"), "aId"),
+        pw_id=_parse_int(node.get("pwId"), "pwId"),
+    )
+
+
+def parse_spec(xml_text: str) -> GameSpec:
+    """Parse a Fig.-1-style XML specification and validate it."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as err:
+        raise SpecError(f"malformed XML: {err}") from None
+
+    assets: Dict[int, AssetSpec] = {}
+    assets_node = root.find("Assets")
+    if assets_node is None:
+        raise SpecError("specification has no <Assets> section")
+    for node in assets_node.findall("Asset"):
+        asset = _parse_asset(node)
+        if asset.aid in assets:
+            raise SpecError(f"duplicate aId {asset.aid}")
+        assets[asset.aid] = asset
+
+    players: Dict[int, PlayerSpec] = {}
+    players_node = root.find("Players")
+    if players_node is None:
+        raise SpecError("specification has no <Players> section")
+    for node in players_node.findall("player"):
+        pid = _parse_int(node.get("pId"), "pId")
+        if pid in players:
+            raise SpecError(f"duplicate pId {pid}")
+        players[pid] = PlayerSpec(pid=pid, name=(node.text or "").strip() or f"Player {pid}")
+
+    events: Dict[int, EventSpec] = {}
+    events_node = root.find("Events")
+    if events_node is None:
+        raise SpecError("specification has no <Events> section")
+    for node in events_node.findall("Event"):
+        eid = _parse_int(node.get("eId"), "eId")
+        if eid in events:
+            raise SpecError(f"duplicate eId {eid}")
+        events[eid] = EventSpec(
+            eid=eid,
+            name=node.get("name", f"event{eid}"),
+            affects=tuple(_parse_affects(a) for a in node.findall("affects")),
+        )
+
+    spec = GameSpec(
+        name=root.get("name", "Game"),
+        assets=assets,
+        players=players,
+        events=events,
+    )
+    spec.validate()
+    return spec

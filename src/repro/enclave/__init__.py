@@ -1,0 +1,21 @@
+"""Secure-enclave execution model (overhead + sealed-state semantics)."""
+
+from .sgx import (
+    CRYPTO_MS_PER_EVENT,
+    DEFAULT_OVERHEAD,
+    EnclaveError,
+    RollbackError,
+    SealedBlob,
+    SecureEnclave,
+    with_enclave,
+)
+
+__all__ = [
+    "CRYPTO_MS_PER_EVENT",
+    "DEFAULT_OVERHEAD",
+    "EnclaveError",
+    "RollbackError",
+    "SealedBlob",
+    "SecureEnclave",
+    "with_enclave",
+]

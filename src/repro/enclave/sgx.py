@@ -1,0 +1,146 @@
+"""Secure-enclave execution model (Brandenburger et al. [43]).
+
+The paper's design runs the smart contract inside SGX enclaves for
+privacy-preserving consensus but evaluates without them (the Fabric
+v1.0 implementation was unavailable), arguing analytically that
+enclave execution adds 10–20 % latency plus <1 ms of AES work per
+event (§7.2.3, "Validity of results").
+
+We model exactly that:
+
+* :func:`with_enclave` scales a :class:`FabricConfig`'s compute costs by
+  the enclave overhead and adds the crypto cost, so any bench can be
+  re-run "as if" enclaves were enabled;
+* :class:`SecureEnclave` provides the stateful-enclave semantics the
+  paper leans on [43]: sealed storage outside the enclave plus a
+  monotonic counter making rollback/forking attacks on persistent state
+  detectable (§5, Privacy).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..blockchain.config import FabricConfig
+
+__all__ = [
+    "EnclaveError",
+    "RollbackError",
+    "DEFAULT_OVERHEAD",
+    "CRYPTO_MS_PER_EVENT",
+    "with_enclave",
+    "SealedBlob",
+    "SecureEnclave",
+]
+
+#: The paper's cited enclave processing overhead range is 10-20%; we
+#: default to the middle.
+DEFAULT_OVERHEAD = 0.15
+
+#: One decryption of the client message plus one encryption of the asset
+#: values, bounded at ~1 ms for sub-1KB Doom messages (§7.2.3).
+CRYPTO_MS_PER_EVENT = 1.0
+
+
+class EnclaveError(RuntimeError):
+    """Generic enclave failure."""
+
+
+class RollbackError(EnclaveError):
+    """A stale sealed state was presented to the enclave (rollback or
+    forking attack on persistent storage)."""
+
+
+def with_enclave(
+    config: FabricConfig,
+    overhead: float = DEFAULT_OVERHEAD,
+    crypto_ms: float = CRYPTO_MS_PER_EVENT,
+) -> FabricConfig:
+    """A config whose compute costs include enclave execution.
+
+    Execution, validation and commit costs grow by ``overhead``; each
+    transaction additionally pays ``crypto_ms`` of AES work.
+    """
+    if not 0.0 <= overhead <= 1.0:
+        raise ValueError(f"overhead must be in [0, 1], got {overhead}")
+    scale = 1.0 + overhead
+    return config.with_options(
+        exec_ms_per_tx=config.exec_ms_per_tx * scale + crypto_ms,
+        sig_verify_ms=config.sig_verify_ms * scale,
+        vote_verify_ms=config.vote_verify_ms * scale,
+        sync_verify_ms=config.sync_verify_ms * scale,
+        commit_ms_per_tx=config.commit_ms_per_tx * scale,
+    )
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """Encrypted-at-rest enclave state with its monotonic counter."""
+
+    ciphertext: str
+    counter: int
+    mac: str
+
+
+class SecureEnclave:
+    """A minimal stateful enclave: seal/unseal with rollback protection.
+
+    The sealing "encryption" is keyed hashing over the serialized state
+    — enough to give the integrity and freshness semantics the tests
+    exercise without real AES.
+    """
+
+    def __init__(self, enclave_id: str, measurement: str = "contract-v1"):
+        self.enclave_id = enclave_id
+        self.measurement = measurement
+        self._sealing_key = hashlib.sha256(
+            f"seal:{enclave_id}:{measurement}".encode()
+        ).hexdigest()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # sealing
+
+    def _mac(self, ciphertext: str, counter: int) -> str:
+        return hashlib.sha256(
+            f"{self._sealing_key}:{counter}:{ciphertext}".encode()
+        ).hexdigest()
+
+    def seal(self, state: Dict[str, Any]) -> SealedBlob:
+        """Seal ``state`` for persistent storage, bumping the counter."""
+        self._counter += 1
+        ciphertext = json.dumps(state, sort_keys=True)
+        return SealedBlob(
+            ciphertext=ciphertext,
+            counter=self._counter,
+            mac=self._mac(ciphertext, self._counter),
+        )
+
+    def unseal(self, blob: SealedBlob) -> Dict[str, Any]:
+        """Unseal a blob; rejects tampering and rollback.
+
+        A blob whose counter is lower than the enclave's monotonic
+        counter is a replay of old state — exactly the attack [69, 76]
+        the paper cites against naive enclave persistence.
+        """
+        if blob.mac != self._mac(blob.ciphertext, blob.counter):
+            raise EnclaveError("sealed state failed integrity check")
+        if blob.counter < self._counter:
+            raise RollbackError(
+                f"sealed state counter {blob.counter} is stale "
+                f"(enclave counter {self._counter})"
+            )
+        return json.loads(blob.ciphertext)
+
+    @property
+    def counter(self) -> int:
+        return self._counter
+
+    def attest(self) -> str:
+        """A (simulated) remote attestation quote over the measurement."""
+        return hashlib.sha256(
+            f"quote:{self.enclave_id}:{self.measurement}".encode()
+        ).hexdigest()

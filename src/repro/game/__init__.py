@@ -1,0 +1,68 @@
+"""Game substrate: Doom-like rules, clients, demo traces and Monopoly."""
+
+from .assets import ASSETS, FREQUENT_ASSETS, AssetDef, AssetId, asset_key
+from .client import DoomClient, PredictionStats
+from .demo import Demo, load_demo, save_demo
+from .doom import (
+    WEAPONS,
+    DoomMap,
+    DoomRules,
+    MapItem,
+    RuleViolation,
+    WeaponDef,
+    WeaponId,
+    initial_assets,
+)
+from .events import Category, EventType, GameEvent, affected_assets, event_category
+from .monopoly import (
+    BOARD_SIZE,
+    STANDARD_PROPERTIES,
+    MonopolyError,
+    MonopolyRules,
+    Property,
+    initial_player,
+)
+from .traces import (
+    TraceProfile,
+    generate_session,
+    paper_dataset,
+    scale_tickrate,
+    ten_longest,
+)
+
+__all__ = [
+    "ASSETS",
+    "FREQUENT_ASSETS",
+    "AssetDef",
+    "AssetId",
+    "asset_key",
+    "DoomClient",
+    "PredictionStats",
+    "Demo",
+    "load_demo",
+    "save_demo",
+    "WEAPONS",
+    "DoomMap",
+    "DoomRules",
+    "MapItem",
+    "RuleViolation",
+    "WeaponDef",
+    "WeaponId",
+    "initial_assets",
+    "Category",
+    "EventType",
+    "GameEvent",
+    "affected_assets",
+    "event_category",
+    "BOARD_SIZE",
+    "STANDARD_PROPERTIES",
+    "MonopolyError",
+    "MonopolyRules",
+    "Property",
+    "initial_player",
+    "TraceProfile",
+    "generate_session",
+    "paper_dataset",
+    "scale_tickrate",
+    "ten_longest",
+]

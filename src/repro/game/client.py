@@ -1,0 +1,170 @@
+"""The game-client model: local state, prediction and reconciliation.
+
+"Clients perform prediction along with entity interpolation to keep the
+game responsive.  However, they must reconcile with the global game
+state when the server pushes the updates back to the clients." (§4.2.5)
+
+:class:`DoomClient` applies events optimistically the moment the player
+produces them and reconciles when the acknowledgement (consensus
+verdict) comes back: a rejected event rolls local state back to the
+authoritative value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .assets import ASSETS, AssetId
+from .doom import DoomMap, DoomRules, RuleViolation, initial_assets
+from .events import EventType, GameEvent, affected_assets
+
+__all__ = ["PredictionStats", "DoomClient"]
+
+
+@dataclass
+class PredictionStats:
+    """How often optimistic prediction had to be rolled back."""
+
+    predicted: int = 0
+    confirmed: int = 0
+    rolled_back: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        done = self.confirmed + self.rolled_back
+        return self.rolled_back / done if done else 0.0
+
+
+class DoomClient:
+    """One player's client-side state machine.
+
+    The client keeps two copies of its assets: ``predicted`` (rendered to
+    the player immediately) and ``confirmed`` (the last state every ack
+    agreed on).  ``apply_event`` advances the prediction; ``acknowledge``
+    either confirms or rolls back.
+    """
+
+    def __init__(
+        self,
+        player: str,
+        game_map: Optional[DoomMap] = None,
+        tickrate: int = DoomRules.TICRATE,
+    ):
+        self.player = player
+        self.map = game_map if game_map is not None else DoomMap.default_map()
+        self.tickrate = tickrate
+        spawn = self.map.spawn_points[0]
+        self.confirmed: Dict[int, object] = initial_assets(spawn)
+        self.predicted: Dict[int, object] = initial_assets(spawn)
+        self._inflight: Dict[int, GameEvent] = {}  # seq -> event
+        self.stats = PredictionStats()
+
+    @property
+    def tick_ms(self) -> float:
+        return 1000.0 / self.tickrate
+
+    # ------------------------------------------------------------------
+    # outbound events
+
+    def apply_event(self, event: GameEvent) -> None:
+        """Optimistically apply the player's own event to predicted state."""
+        if event.player != self.player:
+            raise ValueError(f"event belongs to {event.player}, not {self.player}")
+        self._apply(self.predicted, event)
+        self._inflight[event.seq] = event
+        self.stats.predicted += 1
+
+    # ------------------------------------------------------------------
+    # feedback loop
+
+    def acknowledge(self, seq: int, accepted: bool) -> None:
+        """Process the shim's per-event acknowledgement (§4.2.5(1))."""
+        event = self._inflight.pop(seq, None)
+        if event is None:
+            return
+        if accepted:
+            self._apply(self.confirmed, event)
+            self.stats.confirmed += 1
+        else:
+            self.stats.rolled_back += 1
+            self._rollback()
+
+    def _rollback(self) -> None:
+        """Server reconciliation: reset prediction to confirmed state and
+        re-apply surviving in-flight events in order."""
+        self.predicted = {k: _copy_value(v) for k, v in self.confirmed.items()}
+        for seq in sorted(self._inflight):
+            self._apply(self.predicted, self._inflight[seq])
+
+    # ------------------------------------------------------------------
+    # state transition (mirrors the smart contract's update logic)
+
+    def _apply(self, state: Dict[int, object], event: GameEvent) -> None:
+        etype, payload, t = event.etype, event.payload, event.t_ms
+        try:
+            if etype == EventType.LOCATION:
+                state[AssetId.POSITION] = DoomRules.validate_move(
+                    state[AssetId.POSITION], payload["x"], payload["y"], t, self.map
+                )
+            elif etype == EventType.SHOOT:
+                state[AssetId.AMMUNITION] = DoomRules.validate_shoot(
+                    state[AssetId.WEAPON],
+                    state[AssetId.AMMUNITION],
+                    payload.get("count", 1),
+                )
+            elif etype == EventType.WEAPON_CHANGE:
+                state[AssetId.WEAPON] = DoomRules.validate_weapon_change(
+                    state[AssetId.WEAPON], payload["wid"]
+                )
+            elif etype == EventType.DAMAGE:
+                health, armor, _ = DoomRules.apply_damage(
+                    state[AssetId.HEALTH],
+                    state[AssetId.ARMOR],
+                    payload["amount"],
+                    t,
+                )
+                state[AssetId.HEALTH] = health
+                state[AssetId.ARMOR] = armor
+            elif etype == EventType.PICKUP_MEDKIT:
+                state[AssetId.HEALTH] = DoomRules.heal(
+                    state[AssetId.HEALTH], DoomRules.MEDKIT_HEAL
+                )
+            elif etype == EventType.PICKUP_CLIP:
+                state[AssetId.AMMUNITION] = DoomRules.add_ammo(
+                    state[AssetId.AMMUNITION], DoomRules.CLIP_AMMO
+                )
+            elif etype == EventType.PICKUP_WEAPON:
+                weapon = dict(state[AssetId.WEAPON])
+                owned = list(weapon.get("owned", []))
+                if payload["wid"] not in owned:
+                    owned.append(payload["wid"])
+                weapon["owned"] = owned
+                weapon["current"] = payload["wid"]
+                state[AssetId.WEAPON] = weapon
+                state[AssetId.AMMUNITION] = DoomRules.add_ammo(
+                    state[AssetId.AMMUNITION], DoomRules.WEAPON_PICKUP_AMMO
+                )
+            elif etype == EventType.PICKUP_RADSUIT:
+                state[AssetId.RADIATION_SUIT] = t + DoomRules.POWERUP_DURATION_MS
+            elif etype == EventType.PICKUP_INVIS:
+                state[AssetId.INVISIBILITY] = t + DoomRules.POWERUP_DURATION_MS
+            elif etype == EventType.PICKUP_INVULN:
+                health = dict(state[AssetId.HEALTH])
+                health["invuln_until"] = t + DoomRules.POWERUP_DURATION_MS
+                state[AssetId.HEALTH] = health
+            elif etype == EventType.PICKUP_BERSERK:
+                state[AssetId.BERSERK] = t + DoomRules.POWERUP_DURATION_MS
+                state[AssetId.HEALTH] = DoomRules.heal(state[AssetId.HEALTH], 100)
+        except RuleViolation:
+            # A locally-invalid prediction is simply not applied; the
+            # authoritative verdict arrives via acknowledge().
+            pass
+
+
+def _copy_value(value):
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, list):
+        return list(value)
+    return value

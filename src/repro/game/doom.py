@@ -1,0 +1,289 @@
+"""Doom game rules: weapons, damage, movement and map items.
+
+These are the *server-side* rules that the paper ports into the smart
+contract ("our strategy requires developers to port code running
+previously on the server to a smart contract", §1).  They are pure
+functions over asset values so the same logic runs identically inside
+the contract at every peer and inside the trusted server of the C/S
+baseline.
+
+Constants follow Doom (1993): 100% start health capped at 200, armour
+absorbs a third of incoming damage, player top speed ≈ 30 map units per
+tic at 35 tics/s, deathmatch items respawn after 30 seconds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .assets import ASSETS, AssetId
+
+__all__ = [
+    "RuleViolation",
+    "WeaponId",
+    "WeaponDef",
+    "WEAPONS",
+    "MapItem",
+    "DoomMap",
+    "DoomRules",
+    "initial_assets",
+]
+
+
+class RuleViolation(Exception):
+    """An asset update that the rules of the game do not allow."""
+
+
+class WeaponId:
+    FIST = 0
+    CHAINSAW = 1
+    PISTOL = 2
+    SHOTGUN = 3
+    CHAINGUN = 4
+    ROCKET_LAUNCHER = 5
+    PLASMA_RIFLE = 6
+    BFG9000 = 7
+
+    ALL = (FIST, CHAINSAW, PISTOL, SHOTGUN, CHAINGUN, ROCKET_LAUNCHER, PLASMA_RIFLE, BFG9000)
+
+
+@dataclass(frozen=True)
+class WeaponDef:
+    wid: int
+    name: str
+    ammo_per_shot: int
+    damage: int
+    melee: bool = False
+
+
+WEAPONS: Dict[int, WeaponDef] = {
+    WeaponId.FIST: WeaponDef(WeaponId.FIST, "Fist", 0, 10, melee=True),
+    WeaponId.CHAINSAW: WeaponDef(WeaponId.CHAINSAW, "Chainsaw", 0, 20, melee=True),
+    WeaponId.PISTOL: WeaponDef(WeaponId.PISTOL, "Pistol", 1, 10),
+    WeaponId.SHOTGUN: WeaponDef(WeaponId.SHOTGUN, "Shotgun", 1, 35),
+    WeaponId.CHAINGUN: WeaponDef(WeaponId.CHAINGUN, "Chaingun", 1, 10),
+    WeaponId.ROCKET_LAUNCHER: WeaponDef(WeaponId.ROCKET_LAUNCHER, "RocketLauncher", 1, 80),
+    WeaponId.PLASMA_RIFLE: WeaponDef(WeaponId.PLASMA_RIFLE, "PlasmaRifle", 1, 22),
+    WeaponId.BFG9000: WeaponDef(WeaponId.BFG9000, "BFG9000", 40, 300),
+}
+
+
+@dataclass
+class MapItem:
+    """A pickup placed on the map; deathmatch items respawn."""
+
+    item_id: str
+    kind: str  # "weapon:<wid>", "clip", "medkit", "armor", "radsuit",
+    #            "invuln", "invis", "berserk", "key:<color>"
+    x: float
+    y: float
+    respawn_ms: float = 30_000.0
+
+
+@dataclass
+class DoomMap:
+    """Item placement plus movement bounds for one level."""
+
+    name: str
+    width: float
+    height: float
+    items: List[MapItem]
+    spawn_points: List[Tuple[float, float]]
+
+    def item(self, item_id: str) -> Optional[MapItem]:
+        for item in self.items:
+            if item.item_id == item_id:
+                return item
+        return None
+
+    def items_of_kind(self, kind: str) -> List[MapItem]:
+        return [item for item in self.items if item.kind == kind]
+
+    def in_bounds(self, x: float, y: float) -> bool:
+        return 0.0 <= x <= self.width and 0.0 <= y <= self.height
+
+    @classmethod
+    def default_map(cls, seed: int = 0) -> "DoomMap":
+        """A deterministic deathmatch arena with Doom-style item spread."""
+        rng = random.Random(f"doom-map:{seed}")
+        width = height = 4096.0
+        kinds = (
+            ["weapon:3", "weapon:4", "weapon:5", "weapon:6", "weapon:1"]
+            + ["clip"] * 10
+            + ["medkit"] * 8
+            + ["armor"] * 4
+            + ["radsuit", "invuln", "invis", "berserk"]
+            + ["key:red", "key:blue", "key:yellow"]
+        )
+        items = [
+            MapItem(
+                item_id=f"item{i}",
+                kind=kind,
+                x=round(rng.uniform(128.0, width - 128.0), 1),
+                y=round(rng.uniform(128.0, height - 128.0), 1),
+            )
+            for i, kind in enumerate(kinds)
+        ]
+        spawns = [
+            (512.0, 512.0),
+            (width - 512.0, 512.0),
+            (512.0, height - 512.0),
+            (width - 512.0, height - 512.0),
+        ]
+        return cls(name="DM1", width=width, height=height, items=items, spawn_points=spawns)
+
+
+class DoomRules:
+    """Pure validation/transition functions over asset values."""
+
+    TICRATE = 35
+    TICK_MS = 1000.0 / TICRATE
+    MAX_SPEED_PER_MS = 1.2  # ~30 map units per tic + strafe-running margin
+    PICKUP_RADIUS = 64.0
+    POWERUP_DURATION_MS = 30_000.0
+    ARMOR_ABSORB = 3  # armour soaks 1/3 of incoming damage
+    MEDKIT_HEAL = 25
+    CLIP_AMMO = 10
+    WEAPON_PICKUP_AMMO = 20
+    BERSERK_MELEE_MULTIPLIER = 10
+
+    # ------------------------------------------------------------------
+    # movement
+
+    @staticmethod
+    def validate_move(
+        old_pos: Dict[str, float],
+        new_x: float,
+        new_y: float,
+        t_ms: float,
+        game_map: DoomMap,
+    ) -> Dict[str, float]:
+        """Check a location update against speed and bounds limits.
+
+        Rejects teleport-style cheats: covering more distance than the
+        engine's top speed allows for the elapsed time.
+        """
+        if not game_map.in_bounds(new_x, new_y):
+            raise RuleViolation(f"position ({new_x}, {new_y}) outside the map")
+        dt = t_ms - old_pos["t"]
+        if dt < 0:
+            raise RuleViolation("location update travels back in time")
+        dist = math.hypot(new_x - old_pos["x"], new_y - old_pos["y"])
+        allowed = DoomRules.MAX_SPEED_PER_MS * max(dt, DoomRules.TICK_MS)
+        if dist > allowed:
+            raise RuleViolation(
+                f"moved {dist:.0f} units in {dt:.0f} ms (max {allowed:.0f})"
+            )
+        return {"x": new_x, "y": new_y, "t": t_ms}
+
+    # ------------------------------------------------------------------
+    # shooting
+
+    @staticmethod
+    def validate_shoot(weapon_state: Dict, ammo: int, count: int) -> int:
+        """Returns the remaining ammunition after ``count`` shots."""
+        if count < 1:
+            raise RuleViolation("shot count must be positive")
+        current = WEAPONS.get(weapon_state.get("current"))
+        if current is None:
+            raise RuleViolation("no current weapon")
+        cost = current.ammo_per_shot * count
+        if cost > ammo:
+            raise RuleViolation(
+                f"{count} shots need {cost} ammo but only {ammo} available"
+            )
+        return ammo - cost
+
+    @staticmethod
+    def validate_weapon_change(weapon_state: Dict, new_wid: int) -> Dict:
+        owned = weapon_state.get("owned", [])
+        if new_wid not in owned:
+            raise RuleViolation(f"weapon {new_wid} not owned")
+        return {"current": new_wid, "owned": list(owned)}
+
+    # ------------------------------------------------------------------
+    # damage
+
+    @staticmethod
+    def apply_damage(
+        health_state: Dict, armor: int, amount: int, t_ms: float
+    ) -> Tuple[Dict, int, bool]:
+        """Returns (new health state, new armour, absorbed_by_armor).
+
+        Invulnerability (a Health power mode) nullifies damage while
+        active; otherwise armour soaks a third of the hit.
+        """
+        if amount < 0:
+            raise RuleViolation("damage must be non-negative")
+        if health_state.get("invuln_until", 0.0) > t_ms:
+            return dict(health_state), armor, False
+        soak = min(armor, amount // DoomRules.ARMOR_ABSORB)
+        hp = max(0, health_state["hp"] - (amount - soak))
+        new_state = dict(health_state)
+        new_state["hp"] = hp
+        return new_state, armor - soak, soak > 0
+
+    # ------------------------------------------------------------------
+    # pickups
+
+    @staticmethod
+    def validate_pickup(
+        item: Optional[MapItem],
+        taken_state: Optional[Dict],
+        pos: Dict[str, float],
+        t_ms: float,
+    ) -> None:
+        """A pickup is legal iff the item exists, has respawned, and the
+        player's last reported position is within reach.
+
+        This is exactly the check that defeats IDCHOPPERS: "other players
+        will not reach consensus on his state that has a new weapon
+        without traversing the location on the map where the chainsaw is
+        available for collection" (§7.2.2).
+        """
+        if item is None:
+            raise RuleViolation("no such item on this map")
+        taken_at = (taken_state or {}).get("taken_at")
+        if taken_at is not None and t_ms < taken_at + item.respawn_ms:
+            raise RuleViolation(f"item {item.item_id} not yet respawned")
+        dist = math.hypot(item.x - pos["x"], item.y - pos["y"])
+        # The authoritative position may lag the pickup by in-flight
+        # location updates; grant the distance the player could legally
+        # have covered since the stored sample.  A cheat claiming an item
+        # farther than the engine's top speed allows is still rejected.
+        lag_ms = max(0.0, t_ms - pos.get("t", t_ms))
+        allowed = DoomRules.PICKUP_RADIUS + DoomRules.MAX_SPEED_PER_MS * lag_ms
+        if dist > allowed:
+            raise RuleViolation(
+                f"player is {dist:.0f} units from {item.item_id} (max "
+                f"{allowed:.0f})"
+            )
+
+    @staticmethod
+    def heal(health_state: Dict, amount: int, cap: int = 100) -> Dict:
+        new_state = dict(health_state)
+        new_state["hp"] = min(cap, health_state["hp"] + amount)
+        return new_state
+
+    @staticmethod
+    def add_ammo(ammo: int, amount: int) -> int:
+        cap = ASSETS[AssetId.AMMUNITION].maximum
+        return min(int(cap), ammo + amount)
+
+
+def initial_assets(spawn: Tuple[float, float] = (512.0, 512.0)) -> Dict[int, object]:
+    """A player's asset valuation at session start (addPlayer, §6 ii)."""
+    return {
+        AssetId.HEALTH: {"hp": 100, "invuln_until": 0.0},
+        AssetId.AMMUNITION: 50,
+        AssetId.WEAPON: {"current": WeaponId.PISTOL, "owned": [WeaponId.FIST, WeaponId.PISTOL]},
+        AssetId.ARMOR: 0,
+        AssetId.KEYS: [],
+        AssetId.POSITION: {"x": spawn[0], "y": spawn[1], "t": 0.0},
+        AssetId.INVISIBILITY: 0.0,
+        AssetId.RADIATION_SUIT: 0.0,
+        AssetId.BERSERK: 0.0,
+    }

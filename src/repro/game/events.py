@@ -1,0 +1,156 @@
+"""The eleven tracked Doom game events and their five analysis categories.
+
+"Our Doom specification includes 9 assets and 11 events corresponding to
+shoot, weapon change, damage to sprites, gaining power ups (weapons,
+clips, medical kits, radiation suit, invulnerability, invisibility and
+berserk) and location updates." (§6 ii)
+
+The paper's evaluation (Fig. 3a/3b) groups logged events into five
+categories: armor, health, location, shoot and weapon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from .assets import AssetId
+
+__all__ = ["EventType", "Category", "GameEvent", "event_category", "affected_assets"]
+
+
+class EventType:
+    """The 11 event identifiers registered with the shim."""
+
+    SHOOT = "shoot"
+    WEAPON_CHANGE = "weapon_change"
+    DAMAGE = "damage"
+    PICKUP_WEAPON = "pickup_weapon"
+    PICKUP_CLIP = "pickup_clip"
+    PICKUP_MEDKIT = "pickup_medkit"
+    PICKUP_RADSUIT = "pickup_radsuit"
+    PICKUP_INVULN = "pickup_invuln"
+    PICKUP_INVIS = "pickup_invis"
+    PICKUP_BERSERK = "pickup_berserk"
+    LOCATION = "location"
+
+    ALL = (
+        SHOOT,
+        WEAPON_CHANGE,
+        DAMAGE,
+        PICKUP_WEAPON,
+        PICKUP_CLIP,
+        PICKUP_MEDKIT,
+        PICKUP_RADSUIT,
+        PICKUP_INVULN,
+        PICKUP_INVIS,
+        PICKUP_BERSERK,
+        LOCATION,
+    )
+
+
+class Category:
+    """Analysis categories used in the paper's event-frequency figures."""
+
+    ARMOR = "armor"
+    HEALTH = "health"
+    LOCATION = "location"
+    SHOOT = "shoot"
+    WEAPON = "weapon"
+    OTHER = "other"
+
+    FREQUENT = (ARMOR, HEALTH, LOCATION, SHOOT, WEAPON)
+
+
+@dataclass(frozen=True)
+class GameEvent:
+    """One client event as received by the shim.
+
+    Attributes:
+        t_ms: session-relative timestamp in milliseconds.
+        player: player identity string.
+        etype: one of :class:`EventType`.
+        payload: event arguments — e.g. ``{"x":..,"y":..}`` for location,
+            ``{"count": n}`` for shoot bursts, ``{"target":.., "amount":..,
+            "to_armor":..}`` for damage.
+        seq: per-player sequence (acknowledgement) number; consecutive
+            numbers are what makes events batchable (§4.2.5).
+    """
+
+    t_ms: float
+    player: str
+    etype: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
+
+    def category(self) -> str:
+        return event_category(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "t_ms": self.t_ms,
+            "player": self.player,
+            "etype": self.etype,
+            "payload": self.payload,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "GameEvent":
+        return cls(
+            t_ms=float(d["t_ms"]),
+            player=str(d["player"]),
+            etype=str(d["etype"]),
+            payload=dict(d.get("payload", {})),
+            seq=int(d.get("seq", 0)),
+        )
+
+
+_CATEGORY_BY_TYPE = {
+    EventType.LOCATION: Category.LOCATION,
+    EventType.SHOOT: Category.SHOOT,
+    EventType.WEAPON_CHANGE: Category.WEAPON,
+    EventType.PICKUP_WEAPON: Category.WEAPON,
+    EventType.PICKUP_CLIP: Category.WEAPON,
+    EventType.PICKUP_MEDKIT: Category.HEALTH,
+    EventType.PICKUP_RADSUIT: Category.OTHER,
+    EventType.PICKUP_INVULN: Category.OTHER,
+    EventType.PICKUP_INVIS: Category.OTHER,
+    EventType.PICKUP_BERSERK: Category.OTHER,
+}
+
+
+def event_category(event: GameEvent) -> str:
+    """Map an event to its analysis category.
+
+    Damage events are health events unless the armour absorbed the hit,
+    matching how the paper's logs attribute armour updates.
+    """
+    if event.etype == EventType.DAMAGE:
+        if event.payload.get("to_armor"):
+            return Category.ARMOR
+        return Category.HEALTH
+    return _CATEGORY_BY_TYPE.get(event.etype, Category.OTHER)
+
+
+_AFFECTED = {
+    EventType.SHOOT: (AssetId.AMMUNITION,),
+    EventType.WEAPON_CHANGE: (AssetId.WEAPON,),
+    EventType.DAMAGE: (AssetId.HEALTH, AssetId.ARMOR),
+    EventType.PICKUP_WEAPON: (AssetId.WEAPON, AssetId.AMMUNITION),
+    EventType.PICKUP_CLIP: (AssetId.AMMUNITION,),
+    EventType.PICKUP_MEDKIT: (AssetId.HEALTH,),
+    EventType.PICKUP_RADSUIT: (AssetId.RADIATION_SUIT,),
+    # Invulnerability gates damage, i.e. it is a power mode of Health
+    # (cf. Fig. 1's power pwId=2 on the Health asset).
+    EventType.PICKUP_INVULN: (AssetId.HEALTH,),
+    EventType.PICKUP_INVIS: (AssetId.INVISIBILITY,),
+    EventType.PICKUP_BERSERK: (AssetId.BERSERK, AssetId.HEALTH),
+    EventType.LOCATION: (AssetId.POSITION,),
+}
+
+
+def affected_assets(etype: str) -> Tuple[int, ...]:
+    """Asset ids an event type updates (drives the shim's touched-keys
+    declaration and per-asset dispatch threads)."""
+    return _AFFECTED.get(etype, ())

@@ -1,0 +1,19 @@
+"""Robust distributed randomness (commit-reveal), per Awerbuch et al."""
+
+from .commit_reveal import (
+    CommitRevealRound,
+    Contribution,
+    DistributedDice,
+    Participant,
+    RngError,
+    distributed_random,
+)
+
+__all__ = [
+    "CommitRevealRound",
+    "Contribution",
+    "DistributedDice",
+    "Participant",
+    "RngError",
+    "distributed_random",
+]

@@ -1,0 +1,185 @@
+"""Robust distributed random-number generation (commit-reveal).
+
+The paper uses "a robust, off-chain distributed random number generator
+(using [Awerbuch et al.])" for two things: generating the anonymous
+player-identity mapping during network generation (§4.2.2) and
+simulating unbiased dice for Monopoly (§7.3 ii).
+
+The protocol here is the classic two-phase commit-reveal: every
+participant commits to ``H(salt ‖ value)``, then reveals; the output is
+the XOR of all *verified* contributions, so it is uniform as long as a
+single participant is honest.  Withholding or mis-revealing is detected
+and the offender excluded — the robustness property the paper needs in
+an adversarial P2P setting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "RngError",
+    "Contribution",
+    "Participant",
+    "CommitRevealRound",
+    "distributed_random",
+    "DistributedDice",
+]
+
+_VALUE_BITS = 256
+
+
+class RngError(RuntimeError):
+    """Protocol violation in the distributed RNG."""
+
+
+def _commitment(salt: bytes, value: int) -> str:
+    return hashlib.sha256(salt + value.to_bytes(_VALUE_BITS // 8, "big")).hexdigest()
+
+
+@dataclass
+class Contribution:
+    """One participant's (commit, reveal) pair as seen by the round."""
+
+    name: str
+    commitment: str
+    salt: Optional[bytes] = None
+    value: Optional[int] = None
+
+    @property
+    def revealed(self) -> bool:
+        return self.value is not None
+
+    def verify(self) -> bool:
+        if not self.revealed or self.salt is None:
+            return False
+        return _commitment(self.salt, self.value) == self.commitment
+
+
+class Participant:
+    """An honest participant; deterministic from its seed.
+
+    ``bias_value`` produces a *dishonest* participant for tests: it
+    reveals a different value than committed (caught by verification).
+    """
+
+    def __init__(self, name: str, seed=0, bias_value: Optional[int] = None):
+        self.name = name
+        self._rng = random.Random(f"rng:{name}:{seed}")
+        self._salt = self._rng.getrandbits(128).to_bytes(16, "big")
+        self._value = self._rng.getrandbits(_VALUE_BITS)
+        self._bias_value = bias_value
+
+    def commit(self) -> Contribution:
+        return Contribution(name=self.name, commitment=_commitment(self._salt, self._value))
+
+    def reveal(self, contribution: Contribution) -> None:
+        contribution.salt = self._salt
+        contribution.value = (
+            self._bias_value if self._bias_value is not None else self._value
+        )
+
+
+class CommitRevealRound:
+    """One round: collect commits, then reveals, then combine.
+
+    The phases are explicit so tests (and the message-driven shim) can
+    interleave adversarial behaviour between them.
+    """
+
+    def __init__(self) -> None:
+        self._contributions: Dict[str, Contribution] = {}
+        self._commit_phase_closed = False
+        self.cheaters: List[str] = []
+
+    def submit_commit(self, contribution: Contribution) -> None:
+        if self._commit_phase_closed:
+            raise RngError("commit phase already closed")
+        if contribution.name in self._contributions:
+            raise RngError(f"duplicate commitment from {contribution.name}")
+        self._contributions[contribution.name] = contribution
+
+    def close_commits(self) -> None:
+        if len(self._contributions) < 1:
+            raise RngError("no commitments submitted")
+        self._commit_phase_closed = True
+
+    def contribution(self, name: str) -> Contribution:
+        return self._contributions[name]
+
+    def combine(self, min_honest: int = 1) -> int:
+        """XOR of all verified reveals; cheaters and withholders are
+        excluded and recorded in :attr:`cheaters`."""
+        if not self._commit_phase_closed:
+            raise RngError("close the commit phase before combining")
+        verified: List[int] = []
+        self.cheaters = []
+        for name, contribution in sorted(self._contributions.items()):
+            if contribution.verify():
+                verified.append(contribution.value)
+            else:
+                self.cheaters.append(name)
+        if len(verified) < min_honest:
+            raise RngError(
+                f"only {len(verified)} verified contributions "
+                f"(needed {min_honest})"
+            )
+        out = 0
+        for value in verified:
+            out ^= value
+        return out
+
+
+def distributed_random(
+    participants: List[Participant], modulus: Optional[int] = None
+) -> Tuple[int, List[str]]:
+    """Run a full commit-reveal round among ``participants``.
+
+    Returns ``(value, cheaters)``; ``value`` is reduced mod ``modulus``
+    when given.
+    """
+    if not participants:
+        raise RngError("need at least one participant")
+    round_ = CommitRevealRound()
+    contributions = {}
+    for participant in participants:
+        contribution = participant.commit()
+        round_.submit_commit(contribution)
+        contributions[participant.name] = contribution
+    round_.close_commits()
+    for participant in participants:
+        participant.reveal(contributions[participant.name])
+    value = round_.combine()
+    if modulus is not None:
+        value %= modulus
+    return value, round_.cheaters
+
+
+class DistributedDice:
+    """Unbiased dice built on commit-reveal rounds (Monopoly, §7.3 ii).
+
+    Each roll runs a fresh round (fresh salts/values derived from the
+    roll counter) so outcomes are independent and every roll is
+    verifiable by all players.
+    """
+
+    def __init__(self, player_names: List[str], seed=0):
+        if not player_names:
+            raise RngError("dice need at least one player")
+        self._names = list(player_names)
+        self._seed = seed
+        self._roll_count = 0
+        self.last_cheaters: List[str] = []
+
+    def roll(self) -> Tuple[int, int]:
+        self._roll_count += 1
+        participants = [
+            Participant(name, seed=f"{self._seed}:roll{self._roll_count}")
+            for name in self._names
+        ]
+        value, cheaters = distributed_random(participants, modulus=36)
+        self.last_cheaters = cheaters
+        return (value // 6 + 1, value % 6 + 1)

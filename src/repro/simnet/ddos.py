@@ -1,0 +1,147 @@
+"""DDoS attack models (§2.2 and §7.2.4(3) of the paper).
+
+The paper argues three points about game networks under DDoS:
+
+1. attackers need only *add latency* to make a game unplayable (§2.2(2));
+2. a C/S deployment has a single point of failure — the server or the
+   route to it — whereas the blockchain P2P deployment requires taking
+   down at least one third of the peers in every game room (§5);
+3. empirically, event-validation throughput is unchanged with 12.5 %,
+   25 % and 37.5 % faulty nodes (§7.2.4(3)).
+
+Each attack mutates :class:`~repro.simnet.transport.HostCondition` entries
+on the network and can be lifted again, so benches can measure
+before/during/after behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from .transport import Network
+
+__all__ = [
+    "Attack",
+    "TakedownAttack",
+    "LatencyInjectionAttack",
+    "FloodAttack",
+    "PartitionAttack",
+    "select_victims",
+]
+
+
+def select_victims(names: Sequence[str], fraction: float, seed: int = 0) -> List[str]:
+    """Pick ``fraction`` of hosts (rounded down) as attack victims.
+
+    The paper reports faulty-node fractions of 12.5 %, 25 % and 37.5 %.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    count = int(len(names) * fraction)
+    rng = random.Random(seed)
+    return rng.sample(list(names), count)
+
+
+class Attack:
+    """Base class: an attack is applied to a network and can be lifted."""
+
+    def __init__(self, targets: Iterable[str]):
+        self.targets = list(targets)
+        self.active = False
+
+    def apply(self, network: Network) -> None:
+        if self.active:
+            raise RuntimeError("attack already active")
+        self._apply(network)
+        self.active = True
+
+    def lift(self, network: Network) -> None:
+        if not self.active:
+            raise RuntimeError("attack not active")
+        self._lift(network)
+        self.active = False
+
+    def _apply(self, network: Network) -> None:
+        raise NotImplementedError
+
+    def _lift(self, network: Network) -> None:
+        raise NotImplementedError
+
+
+class TakedownAttack(Attack):
+    """Knock the target hosts fully offline (volumetric saturation).
+
+    Against a C/S game this needs exactly one target — the server.
+    Against the P2P deployment the adversary must take down ≥ 1/3 of the
+    peers in *every* room to halt consensus.
+    """
+
+    def _apply(self, network: Network) -> None:
+        for name in self.targets:
+            network.condition(name).down = True
+
+    def _lift(self, network: Network) -> None:
+        for name in self.targets:
+            network.condition(name).down = False
+
+
+class LatencyInjectionAttack(Attack):
+    """Add ingress latency at the targets (§2.2(2): latency alone suffices).
+
+    ``extra_ms`` around 500 renders an FPS unplayable while leaving the
+    host nominally reachable — the "half-second latency" example from the
+    paper's motivation.
+    """
+
+    def __init__(self, targets: Iterable[str], extra_ms: float = 500.0):
+        super().__init__(targets)
+        if extra_ms < 0:
+            raise ValueError("extra_ms must be non-negative")
+        self.extra_ms = extra_ms
+
+    def _apply(self, network: Network) -> None:
+        for name in self.targets:
+            network.condition(name).extra_ingress_ms += self.extra_ms
+
+    def _lift(self, network: Network) -> None:
+        for name in self.targets:
+            network.condition(name).extra_ingress_ms -= self.extra_ms
+
+
+class PartitionAttack(Attack):
+    """Split the network into isolated groups (e.g. an attack on the
+    upper-tier ISPs connecting data centres, §2.2's Final Fantasy XIV
+    example).  ``groups`` are iterables of host names; hosts outside all
+    groups form an implicit extra group."""
+
+    def __init__(self, *groups):
+        all_names = [name for group in groups for name in group]
+        super().__init__(all_names)
+        self.groups = [list(group) for group in groups]
+
+    def _apply(self, network: Network) -> None:
+        network.partition(*self.groups)
+
+    def _lift(self, network: Network) -> None:
+        network.heal()
+
+
+class FloodAttack(Attack):
+    """Probabilistically drop ingress traffic at the targets (queue overflow
+    under request floods).  ``drop_rate`` is the fraction of legitimate
+    packets crowded out by attack traffic."""
+
+    def __init__(self, targets: Iterable[str], drop_rate: float = 0.9):
+        super().__init__(targets)
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
+        self.drop_rate = drop_rate
+
+    def _apply(self, network: Network) -> None:
+        for name in self.targets:
+            network.condition(name).ingress_drop_rate = self.drop_rate
+
+    def _lift(self, network: Network) -> None:
+        for name in self.targets:
+            network.condition(name).ingress_drop_rate = 0.0

@@ -1,0 +1,171 @@
+"""Latency and bandwidth profiles for the simulated deployments.
+
+The paper evaluates on two physical setups:
+
+* an Internet-wide deployment with Fabric peers at SoftLayer Dallas,
+  San Jose and Toronto (``INTERNET_US``), and
+* a 1 Gbps LAN testbed used for the minimum-absolute cheat-prevention
+  latency experiment (``LAN_1GBPS``).
+
+A :class:`LatencyProfile` captures one-way propagation delay between
+regions, jitter, bandwidth (which serialises large messages such as
+blocks) and a fixed per-message processing overhead.  Constants are
+calibrated so the aggregate event-validation latency curve matches the
+shape of the paper's Fig. 3c (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = [
+    "Region",
+    "LatencyProfile",
+    "INTERNET_US",
+    "LAN_1GBPS",
+    "INTERCONTINENTAL",
+]
+
+
+class Region:
+    """Named deployment regions.  Plain string constants keep hashing cheap."""
+
+    DALLAS = "dallas"
+    SAN_JOSE = "san-jose"
+    TORONTO = "toronto"
+    FRANKFURT = "frankfurt"
+    SINGAPORE = "singapore"
+    LAN = "lan"
+
+    US = (DALLAS, SAN_JOSE, TORONTO)
+    ALL = (DALLAS, SAN_JOSE, TORONTO, FRANKFURT, SINGAPORE, LAN)
+
+
+def _symmetric(matrix: Dict[Tuple[str, str], float]) -> Dict[Tuple[str, str], float]:
+    """Expand a triangular region-pair latency map into a symmetric one."""
+    out = dict(matrix)
+    for (a, b), v in matrix.items():
+        out[(b, a)] = v
+    return out
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """One-way network characteristics between deployment regions.
+
+    Attributes:
+        name: human-readable profile name.
+        propagation_ms: one-way propagation delay per region pair.
+        intra_region_ms: one-way delay between two hosts in the same region.
+        jitter_ms: uniform jitter amplitude added to each message.
+        bandwidth_mbps: per-link bandwidth; serialisation delay is
+            ``size_bytes * 8 / (bandwidth_mbps * 1000)`` milliseconds.
+        overhead_ms: fixed per-message processing overhead (kernel/NIC).
+        loss_rate: independent per-message loss probability.
+    """
+
+    name: str
+    propagation_ms: Dict[Tuple[str, str], float]
+    intra_region_ms: float
+    jitter_ms: float
+    bandwidth_mbps: float
+    overhead_ms: float = 0.05
+    loss_rate: float = 0.0
+    default_propagation_ms: float = 40.0
+    #: Regions hosts are placed across under this profile.
+    region_pool: Tuple[str, ...] = Region.US
+
+    def propagation(self, src_region: str, dst_region: str) -> float:
+        """One-way propagation delay between two regions, in ms."""
+        if src_region == dst_region:
+            return self.intra_region_ms
+        return self.propagation_ms.get((src_region, dst_region), self.default_propagation_ms)
+
+    def serialization(self, size_bytes: int) -> float:
+        """Time to push ``size_bytes`` onto the wire, in ms."""
+        if size_bytes <= 0:
+            return 0.0
+        return size_bytes * 8.0 / (self.bandwidth_mbps * 1000.0)
+
+    def one_way_delay(
+        self, src_region: str, dst_region: str, size_bytes: int, rng: random.Random
+    ) -> float:
+        """Sampled one-way delay for one message between two regions."""
+        jitter = rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
+        return (
+            self.propagation(src_region, dst_region)
+            + self.serialization(size_bytes)
+            + self.overhead_ms
+            + jitter
+        )
+
+
+# Measured 2018-era one-way latencies between SoftLayer data centres
+# (round-trip figures from public looking-glass data, halved).
+_US_PAIRS = _symmetric(
+    {
+        (Region.DALLAS, Region.SAN_JOSE): 20.0,
+        (Region.DALLAS, Region.TORONTO): 17.0,
+        (Region.SAN_JOSE, Region.TORONTO): 31.0,
+    }
+)
+
+_GLOBAL_PAIRS = _symmetric(
+    {
+        (Region.DALLAS, Region.SAN_JOSE): 20.0,
+        (Region.DALLAS, Region.TORONTO): 17.0,
+        (Region.SAN_JOSE, Region.TORONTO): 31.0,
+        (Region.DALLAS, Region.FRANKFURT): 55.0,
+        (Region.SAN_JOSE, Region.FRANKFURT): 75.0,
+        (Region.TORONTO, Region.FRANKFURT): 48.0,
+        (Region.DALLAS, Region.SINGAPORE): 110.0,
+        (Region.SAN_JOSE, Region.SINGAPORE): 85.0,
+        (Region.TORONTO, Region.SINGAPORE): 105.0,
+        (Region.FRANKFURT, Region.SINGAPORE): 80.0,
+    }
+)
+
+#: The paper's Internet-wide intra-continental deployment (§7, experimental
+#: setup): peers in Dallas, San Jose and Toronto, randomly placed by Swarm.
+INTERNET_US = LatencyProfile(
+    name="internet-us",
+    propagation_ms=_US_PAIRS,
+    intra_region_ms=0.8,
+    jitter_ms=2.0,
+    bandwidth_mbps=100.0,
+    overhead_ms=0.1,
+)
+
+#: The paper's 1 Gbps LAN testbed used for the minimum cheat-prevention
+#: latency experiment (§7.2.2).
+LAN_1GBPS = LatencyProfile(
+    name="lan-1gbps",
+    propagation_ms={},
+    intra_region_ms=0.15,
+    jitter_ms=0.05,
+    bandwidth_mbps=1000.0,
+    overhead_ms=0.02,
+    default_propagation_ms=0.15,
+    region_pool=(Region.LAN,),
+)
+
+#: An inter-continental profile; the paper notes inter-continental FPS play
+#: is rare due to increased latencies — used in ablation benches only.
+INTERCONTINENTAL = LatencyProfile(
+    name="intercontinental",
+    propagation_ms=_GLOBAL_PAIRS,
+    intra_region_ms=0.8,
+    jitter_ms=4.0,
+    bandwidth_mbps=100.0,
+    overhead_ms=0.1,
+    default_propagation_ms=90.0,
+    region_pool=(
+        Region.DALLAS,
+        Region.SAN_JOSE,
+        Region.TORONTO,
+        Region.FRANKFURT,
+        Region.SINGAPORE,
+    ),
+)

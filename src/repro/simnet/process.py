@@ -1,0 +1,64 @@
+"""Small scheduling helpers shared by protocol actors."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .clock import Scheduler, Timer
+
+__all__ = ["Periodic"]
+
+
+class Periodic:
+    """A cancellable periodic callback (e.g. the shim's per-tick poll loop).
+
+    The callback fires every ``interval_ms`` starting ``interval_ms`` after
+    :meth:`start` (or immediately when ``fire_now`` is set).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        interval_ms: float,
+        fn: Callable[[], Any],
+    ) -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self._scheduler = scheduler
+        self._interval = interval_ms
+        self._fn = fn
+        self._timer: Optional[Timer] = None
+        self._running = False
+        self.fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def interval_ms(self) -> float:
+        return self._interval
+
+    def start(self, fire_now: bool = False) -> "Periodic":
+        if self._running:
+            return self
+        self._running = True
+        if fire_now:
+            self._timer = self._scheduler.call_after(0.0, self._tick)
+        else:
+            self._timer = self._scheduler.call_after(self._interval, self._tick)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.fire_count += 1
+        self._fn()
+        if self._running:
+            self._timer = self._scheduler.call_after(self._interval, self._tick)

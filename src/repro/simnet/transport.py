@@ -1,0 +1,194 @@
+"""Message transport over the simulated network.
+
+Delivery delay for a message is::
+
+    egress queueing (sender NIC serialisation, FIFO per host)
+    + one-way propagation between regions (+ jitter)
+    + per-message overhead
+    + attack-injected latency at the receiver (DDoS model)
+
+Egress serialisation is what makes an orderer's block dissemination to
+``N`` peers take time linear in ``N`` — the physical root of the paper's
+observation that event-validation latency grows with peer count
+(Fig. 3c) and "shoots up" past 32 peers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .clock import Scheduler
+from .latency import LatencyProfile
+from .topology import Host, Topology
+
+__all__ = ["Message", "HostCondition", "NetworkStats", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight message.  ``payload`` is any Python object (we simulate
+    the network, not the encoding); ``size_bytes`` drives serialisation."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    sent_at: float
+
+
+@dataclass
+class HostCondition:
+    """Mutable per-host fault/attack state, manipulated by ``simnet.ddos``."""
+
+    down: bool = False
+    extra_ingress_ms: float = 0.0
+    ingress_drop_rate: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """The simulated network fabric connecting all hosts.
+
+    A single :class:`Network` owns the scheduler, the latency profile and
+    the per-host fault conditions.  All sends are asynchronous: ``send``
+    returns immediately and the payload is delivered via the recipient's
+    :meth:`~repro.simnet.topology.Host.handle_message` at a later simulated
+    time (or never, if lost).
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        profile: Optional[LatencyProfile] = None,
+        seed: int = 0,
+    ) -> None:
+        from .latency import INTERNET_US
+
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.profile = profile if profile is not None else INTERNET_US
+        self.rng = random.Random(seed)
+        self.topology = Topology()
+        self.stats = NetworkStats()
+        self._conditions: Dict[str, HostCondition] = {}
+        self._egress_free_at: Dict[str, float] = {}
+        self._channel_clear_at: Dict[tuple, float] = {}
+        #: host -> partition group id; messages between different groups
+        #: are dropped while a partition is active (None = no partition).
+        self._partition_of: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # registration
+
+    def register(self, host: Host) -> Host:
+        """Attach ``host`` to this network."""
+        self.topology.add(host)
+        host.network = self
+        self._conditions[host.name] = HostCondition()
+        self._egress_free_at[host.name] = 0.0
+        return host
+
+    def condition(self, host_name: str) -> HostCondition:
+        """The mutable fault condition for a host (used by attack models)."""
+        return self._conditions[host_name]
+
+    def host(self, name: str) -> Host:
+        return self.topology.get(name)
+
+    # ------------------------------------------------------------------
+    # sending
+
+    def send(self, src: Host, dst: Host, payload: Any, size_bytes: int = 256) -> None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Messages to or from a *down* host are silently dropped — the
+        application-level protocols are responsible for timeouts, exactly
+        as over a real network.
+        """
+        now = self.scheduler.now
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+
+        src_cond = self._conditions[src.name]
+        dst_cond = self._conditions[dst.name]
+        if src_cond.down or dst_cond.down:
+            self.stats.messages_dropped += 1
+            return
+        if self._partition_of is not None:
+            if self._partition_of.get(src.name) != self._partition_of.get(dst.name):
+                self.stats.messages_dropped += 1
+                return
+        if self.profile.loss_rate and self.rng.random() < self.profile.loss_rate:
+            self.stats.messages_dropped += 1
+            return
+        if dst_cond.ingress_drop_rate and self.rng.random() < dst_cond.ingress_drop_rate:
+            self.stats.messages_dropped += 1
+            return
+
+        # FIFO egress serialisation at the sender's NIC.
+        serialization = self.profile.serialization(size_bytes)
+        egress_start = max(now, self._egress_free_at[src.name])
+        egress_done = egress_start + serialization
+        self._egress_free_at[src.name] = egress_done
+
+        flight = self.profile.one_way_delay(src.region, dst.region, 0, self.rng)
+        deliver_at = egress_done + flight + dst_cond.extra_ingress_ms
+
+        # Channels are FIFO per (src, dst) pair: Fabric's gRPC transport runs
+        # over TCP, so jitter cannot reorder messages within one connection.
+        channel = (src.name, dst.name)
+        deliver_at = max(deliver_at, self._channel_clear_at.get(channel, 0.0))
+        self._channel_clear_at[channel] = deliver_at
+
+        msg = Message(src.name, dst.name, payload, size_bytes, now)
+        self.scheduler.call_at(deliver_at, self._deliver, dst, src, msg)
+
+    def _deliver(self, dst: Host, src: Host, msg: Message) -> None:
+        # Re-check: host may have gone down while the message was in flight.
+        if self._conditions[dst.name].down:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        dst.handle_message(src, msg.payload)
+
+    # ------------------------------------------------------------------
+    # partitions
+
+    def partition(self, *groups) -> None:
+        """Split the network: hosts in different groups cannot exchange
+        messages.  Hosts not named in any group share an implicit extra
+        group.  Call :meth:`heal` to reconnect."""
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                mapping[name] = index
+        self._partition_of = mapping
+
+    def heal(self) -> None:
+        """Remove an active partition."""
+        self._partition_of = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition_of is not None
+
+    # ------------------------------------------------------------------
+    # convenience
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.scheduler.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        self.scheduler.run_until_idle(max_events=max_events)

@@ -1,0 +1,16 @@
+"""The §7.1 modern-games study: synthetic Steam ecosystem + methodology."""
+
+from .measure import SteamStudy, TitleMeasurement
+from .steam import LATENCY_BINS, STUDY_TITLES, GameTitle, Server, SteamEcosystem
+from .tracker import GameTracker
+
+__all__ = [
+    "SteamStudy",
+    "TitleMeasurement",
+    "LATENCY_BINS",
+    "STUDY_TITLES",
+    "GameTitle",
+    "Server",
+    "SteamEcosystem",
+    "GameTracker",
+]

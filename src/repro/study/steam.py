@@ -1,0 +1,138 @@
+"""Synthetic Steam ecosystem for the modern-games study (§7.1).
+
+Substitution (DESIGN.md §2): the paper measured ten Linux FPS titles
+through the live Steam console and gametracker.com in 2018.  We model
+the ecosystem those measurements sampled: each title carries a server
+population with a latency distribution, per-room occupancy statistics
+and a client tickrate.  The generative parameters are calibrated to the
+published Table 2 rows, and the measurement methodology
+(:mod:`repro.study.measure`) re-derives the table by sampling — so the
+harness exercises the paper's procedure, not just its numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["GameTitle", "Server", "SteamEcosystem", "STUDY_TITLES", "LATENCY_BINS"]
+
+#: The six latency bins of Fig. 2, in ms.
+LATENCY_BINS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 50.0),
+    (50.0, 100.0),
+    (100.0, 150.0),
+    (150.0, 250.0),
+    (250.0, 350.0),
+    (350.0, 600.0),
+)
+
+
+@dataclass(frozen=True)
+class GameTitle:
+    """Generative parameters for one studied title.
+
+    ``avg_players``/``max_players`` drive the room-occupancy model;
+    ``tickrate`` is the client tickrate the console reports;
+    ``playable_latency_ms`` is the highest server latency at which a
+    10-minute session shows no jitter or lag (the paper's criterion);
+    ``bin_weights`` shape the server latency distribution over
+    :data:`LATENCY_BINS`.
+    """
+
+    name: str
+    avg_players: float
+    max_players: int
+    tickrate: int
+    playable_latency_ms: float
+    n_servers: int
+    bin_weights: Tuple[float, float, float, float, float, float]
+
+
+@dataclass(frozen=True)
+class Server:
+    """One game server: its true latency from the measurement vantage."""
+
+    server_id: str
+    game: str
+    latency_ms: float
+    load_failure_rate: float = 0.05
+
+
+#: The ten Linux/SteamOS FPS titles of Table 2.  ``playable_latency_ms``
+#: is set so the measurement procedure (connect in decreasing latency
+#: order, keep the first playable) reproduces the published "Average
+#: Latency" column; bin weights put the server mass in the 100-350 ms
+#: buckets as Fig. 2 shows.
+STUDY_TITLES: Tuple[GameTitle, ...] = (
+    GameTitle("Counter-Strike 1.6", 25.49, 32, 30, 243.0, 2400,
+              (0.03, 0.07, 0.14, 0.30, 0.31, 0.15)),
+    GameTitle("Counter-Strike: GO", 18.93, 63, 64, 242.0, 4200,
+              (0.04, 0.08, 0.15, 0.31, 0.29, 0.13)),
+    GameTitle("Counter-Strike: Source", 14.84, 64, 66, 236.0, 1800,
+              (0.03, 0.08, 0.16, 0.30, 0.29, 0.14)),
+    GameTitle("Day of Defeat", 4.59, 30, 30, 247.0, 420,
+              (0.02, 0.06, 0.13, 0.30, 0.32, 0.17)),
+    GameTitle("Double Action: Boogaloo", 0.42, 17, 30, 290.0, 60,
+              (0.01, 0.04, 0.10, 0.28, 0.36, 0.21)),
+    GameTitle("Half-Life", 1.75, 31, 60, 260.0, 300,
+              (0.02, 0.05, 0.12, 0.29, 0.33, 0.19)),
+    GameTitle("Half-Life 2: Deathmatch", 0.99, 64, 30, 246.0, 240,
+              (0.02, 0.06, 0.14, 0.31, 0.30, 0.17)),
+    GameTitle("Left 4 Dead 2", 2.38, 24, 30, 274.0, 900,
+              (0.02, 0.05, 0.12, 0.28, 0.34, 0.19)),
+    GameTitle("Team Fortress Classic", 0.41, 15, 30, 255.0, 90,
+              (0.02, 0.06, 0.13, 0.30, 0.31, 0.18)),
+    GameTitle("Team Fortress 2", 5.63, 32, 30, 272.0, 3000,
+              (0.02, 0.05, 0.12, 0.29, 0.33, 0.19)),
+)
+
+
+class SteamEcosystem:
+    """Deterministic server populations for the ten studied titles."""
+
+    def __init__(self, titles: Optional[Tuple[GameTitle, ...]] = None, seed: int = 2018):
+        self.titles = titles if titles is not None else STUDY_TITLES
+        self.seed = seed
+        self._servers: Dict[str, List[Server]] = {}
+
+    def title(self, name: str) -> GameTitle:
+        for title in self.titles:
+            if title.name == name:
+                return title
+        raise KeyError(f"title {name!r} not in the study")
+
+    def servers(self, game: str) -> List[Server]:
+        """The (lazily generated) server population for a title."""
+        if game not in self._servers:
+            self._servers[game] = self._generate(self.title(game))
+        return self._servers[game]
+
+    def _generate(self, title: GameTitle) -> List[Server]:
+        rng = random.Random(f"steam:{self.seed}:{title.name}")
+        servers = []
+        for i in range(title.n_servers):
+            low, high = rng.choices(LATENCY_BINS, weights=title.bin_weights)[0]
+            latency = rng.uniform(low, high)
+            servers.append(
+                Server(
+                    server_id=f"{title.name}/{i}",
+                    game=title.name,
+                    latency_ms=round(latency, 1),
+                    load_failure_rate=0.05,
+                )
+            )
+        return servers
+
+    def bin_distribution(self, game: str) -> List[float]:
+        """Fraction of a title's servers in each Fig. 2 latency bin."""
+        servers = self.servers(game)
+        counts = [0] * len(LATENCY_BINS)
+        for server in servers:
+            for i, (low, high) in enumerate(LATENCY_BINS):
+                if low <= server.latency_ms < high:
+                    counts[i] += 1
+                    break
+        total = len(servers)
+        return [c / total for c in counts]

@@ -1,0 +1,124 @@
+"""Shared test fixtures and helper contracts."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.blockchain import Contract, ContractError
+
+
+class CounterContract(Contract):
+    """A minimal contract: named non-negative counters.
+
+    Functions:
+        init(name)        create counter at 0
+        add(name, delta)  increment (delta must be positive)
+        sub(name, delta)  decrement (must not go negative — "cheat")
+    """
+
+    name = "counter"
+
+    @staticmethod
+    def key(counter: str) -> str:
+        return f"ctr/{counter}"
+
+    def invoke(self, ctx, function, args):
+        if function == "init":
+            (counter,) = args
+            if ctx.view.get(self.key(counter)) is not None:
+                raise ContractError(f"counter {counter} already exists")
+            ctx.view.put(self.key(counter), 0)
+        elif function == "add":
+            counter, delta = args
+            self._apply(ctx, counter, int(delta))
+        elif function == "sub":
+            counter, delta = args
+            self._apply(ctx, counter, -int(delta))
+        else:
+            raise ContractError(f"unknown function {function}")
+
+    def _apply(self, ctx, counter, delta):
+        key = self.key(counter)
+        value = ctx.view.get(key)
+        if value is None:
+            raise ContractError(f"no such counter {counter}")
+        if value + delta < 0:
+            raise ContractError("counter would go negative")
+        ctx.view.put(key, value + delta)
+
+    def functions(self):
+        return ["init", "add", "sub"]
+
+
+class BrokenCounterContract(CounterContract):
+    """A tampered contract that rejects everything — models a peer whose
+    deployed contract diverges from the advertised one."""
+
+    def invoke(self, ctx, function, args):
+        raise ContractError("tampered contract rejects all updates")
+
+
+@pytest.fixture()
+def counter_factory():
+    return CounterContract
+
+
+class ContractHarness:
+    """Executes contract calls directly against a world state.
+
+    Lets contract logic be unit-tested without spinning up the network:
+    each call goes through the real ``execute_transaction`` path
+    (including the nonce replay verifier) and valid writes are applied
+    with proper versions.
+    """
+
+    def __init__(self, contract):
+        from repro.blockchain import CertificateAuthority, WorldState
+
+        self.contract = contract
+        self.state = WorldState()
+        self.ca = CertificateAuthority(name="harness-ca")
+        self._identities = {}
+        self._block = 0
+        self._nonce = 0
+
+    def identity(self, name):
+        if name not in self._identities:
+            self._identities[name] = self.ca.enroll(name)
+        return self._identities[name]
+
+    def call(self, function, payload=None, creator="p1", t=0.0, nonce=None):
+        """Execute one invocation; returns (code, rwset)."""
+        from repro.blockchain import Proposal, Transaction, Version
+        from repro.blockchain.contracts import execute_transaction
+
+        self._nonce += 1
+        identity = self.identity(creator)
+        proposal = Proposal(
+            tx_id=f"h{self._nonce}",
+            contract=self.contract.name,
+            function=function,
+            args=(payload if payload is not None else {},),
+            nonce=nonce if nonce is not None else f"n{self._nonce}",
+            creator=creator,
+            timestamp=t,
+        )
+        tx = Transaction(
+            proposal=proposal,
+            certificate=identity.certificate,
+            signature=identity.sign(proposal.digest()),
+        )
+        execution = execute_transaction(self.contract, tx, self.state)
+        if execution.code == "VALID":
+            self._block += 1
+            for key, value in execution.rwset.writes:
+                self.state.put(key, value, Version(self._block, 0))
+        return execution.code, execution.rwset
+
+    def ok(self, function, payload=None, creator="p1", t=0.0):
+        """Call and assert the invocation was accepted."""
+        code, rwset = self.call(function, payload, creator, t)
+        assert code == "VALID", f"{function} rejected: {code}"
+        return rwset

@@ -1,0 +1,73 @@
+"""Tests for metrics and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    AsciiTable,
+    format_series,
+    histogram,
+    mean,
+    median,
+    percentile,
+    rate_per_second,
+    stddev,
+)
+
+
+class TestMetrics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd_even(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 50.0) == 5.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_stddev(self):
+        assert stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.138, abs=0.01)
+        assert stddev([5.0]) == 0.0
+
+    def test_histogram(self):
+        bins = [(0.0, 10.0), (10.0, 20.0)]
+        assert histogram([1.0, 5.0, 15.0, 25.0], bins) == [2, 1]
+
+    def test_rate_per_second(self):
+        assert rate_per_second(35, 1000.0) == 35.0
+        assert rate_per_second(10, 0.0) == 0.0
+
+
+class TestReport:
+    def test_table_renders_aligned(self):
+        table = AsciiTable(["Game", "Latency"], title="Table 2")
+        table.row("Doom", 147.25)
+        out = table.render()
+        assert "Table 2" in out
+        assert "Doom" in out and "147.25" in out
+        header, sep, data = out.splitlines()[1:4]
+        assert len(header) == len(sep) == len(data)
+
+    def test_row_arity_checked(self):
+        table = AsciiTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.row("only-one")
+
+    def test_chaining(self):
+        out = AsciiTable(["x"]).row(1).row(2).render()
+        assert out.count("\n") == 3
+
+    def test_format_series(self):
+        assert format_series("lat", [1.0, 2.5]) == "lat: 1.0 2.5"

@@ -1,0 +1,115 @@
+"""Tests for ledger auditing and the DoomClient↔shim feedback loop."""
+
+import pytest
+
+from repro.analysis import audit_ledger, cross_audit
+from repro.blockchain import TxValidationCode
+from repro.core import CheatInjector, GameSession, relevant_cheats
+from repro.game import AssetId, DoomClient, EventType, GameEvent
+from repro.simnet import LAN_1GBPS
+
+
+@pytest.fixture(scope="module")
+def cheated_session():
+    session = GameSession(n_peers=4, profile=LAN_1GBPS, n_players=2, seed=31)
+    session.setup()
+    # Some honest play…
+    shim = session.shims[0]
+    for seq in (1, 2, 3):
+        session.inject_event(GameEvent(
+            session.now, shim.player, EventType.SHOOT, {"count": 1}, seq))
+        session.run_until_idle()
+    # …then a burst of cheating from player 2.
+    injector = CheatInjector(session, shim=session.shims[1])
+    injector.run_all_relevant()
+    return session
+
+
+class TestAudit:
+    def test_audit_accounts_for_every_transaction(self, cheated_session):
+        report = audit_ledger(cheated_session.chain.peers[0].ledger)
+        assert report.chain_valid
+        assert report.total_transactions == sum(report.by_code.values())
+        assert report.total_transactions == sum(report.by_creator.values())
+        assert report.accepted + report.rejected == report.total_transactions
+
+    def test_audit_pins_cheater(self, cheated_session):
+        """The event log is a durable, attributable record of cheating
+        attempts (non-repudiation)."""
+        report = audit_ledger(cheated_session.chain.peers[0].ledger)
+        cheater = cheated_session.shims[1].player
+        honest = cheated_session.shims[0].player
+        assert len(report.rejections_by(cheater)) == len(relevant_cheats())
+        assert report.rejections_by(honest) == []
+        for creator, function, code, block in report.rejections_by(cheater):
+            assert code == TxValidationCode.CONTRACT_REJECTED
+            assert 0 < block < report.height
+
+    def test_cross_audit_agrees(self, cheated_session):
+        assert cross_audit(p.ledger for p in cheated_session.chain.peers)
+
+    def test_cross_audit_detects_tampering(self, cheated_session):
+        ledgers = [p.ledger for p in cheated_session.chain.peers]
+        victim = ledgers[0].block(2).transactions[0]
+        original = victim.proposal.args
+        object.__setattr__(victim.proposal, "args", ({"forged": 1},))
+        try:
+            assert not cross_audit(ledgers)
+        finally:
+            object.__setattr__(victim.proposal, "args", original)
+        assert cross_audit(ledgers)
+
+    def test_cross_audit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cross_audit([])
+
+
+class TestClientShimIntegration:
+    """The full loop: DoomClient prediction -> shim -> consensus -> ack
+    -> reconciliation."""
+
+    def make(self):
+        session = GameSession(n_peers=4, profile=LAN_1GBPS, n_players=1, seed=33)
+        session.setup()
+        shim = session.shims[0]
+        client = DoomClient(shim.player, game_map=session.network.game_map)
+        shim.on_ack = lambda event, ok, code, lat: client.acknowledge(event.seq, ok)
+
+        def play(event):
+            client.apply_event(event)       # optimistic prediction
+            shim.on_game_event(event)       # consensus validation
+        return session, shim, client, play
+
+    def test_honest_play_confirms_predictions(self):
+        session, shim, client, play = self.make()
+        for seq in range(1, 6):
+            play(GameEvent(session.now, client.player, EventType.SHOOT,
+                           {"count": 1}, seq))
+            session.run_until_idle()
+        assert client.stats.predicted == 5
+        assert client.stats.confirmed == 5
+        assert client.stats.misprediction_rate == 0.0
+        assert client.confirmed[AssetId.AMMUNITION] == 45
+        # Client and chain agree exactly.
+        from repro.game import asset_key
+
+        chain_ammo = session.chain.peers[0].ledger.state.get(
+            asset_key(client.player, AssetId.AMMUNITION)
+        )
+        assert chain_ammo == 45
+
+    def test_cheat_rolls_back_local_prediction(self):
+        """A modified client can render a cheat locally, but the ack
+        rolls the authoritative-facing state back — the cheat never
+        leaves the cheater's screen."""
+        session, shim, client, play = self.make()
+        # The client "predicts" an illegal far-item medkit heal.
+        play(GameEvent(session.now, client.player, EventType.DAMAGE,
+                       {"amount": 40, "t": session.now}, 1))
+        session.run_until_idle()
+        far = session.network.game_map.items_of_kind("medkit")[0]
+        play(GameEvent(session.now, client.player, EventType.PICKUP_MEDKIT,
+                       {"item_id": far.item_id, "t": session.now}, 2))
+        session.run_until_idle()
+        assert client.stats.rolled_back == 1
+        assert client.predicted[AssetId.HEALTH]["hp"] == 60  # heal undone

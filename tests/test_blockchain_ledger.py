@@ -1,0 +1,223 @@
+"""Unit tests for world state, blocks and ledger MVCC semantics."""
+
+import pytest
+
+from repro.blockchain import (
+    CertificateAuthority,
+    Ledger,
+    LedgerError,
+    Proposal,
+    RWSet,
+    Transaction,
+    TxExecution,
+    TxValidationCode,
+    Version,
+    WorldState,
+    make_genesis_block,
+)
+from repro.blockchain.block import make_block
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority()
+
+
+@pytest.fixture()
+def identity(ca):
+    return ca.enroll("client")
+
+
+def make_tx(identity, tx_id, nonce=None):
+    proposal = Proposal(
+        tx_id=tx_id,
+        contract="c",
+        function="f",
+        args=(),
+        nonce=nonce or tx_id,
+        creator=identity.name,
+        timestamp=0.0,
+    )
+    return Transaction(
+        proposal=proposal,
+        certificate=identity.certificate,
+        signature=identity.sign(proposal.digest()),
+    )
+
+
+def fresh_ledger():
+    return Ledger(make_genesis_block({"peers": ["p0"]}))
+
+
+class TestWorldState:
+    def test_get_missing_returns_none(self):
+        assert WorldState().get("nope") is None
+
+    def test_put_get_roundtrip(self):
+        ws = WorldState()
+        ws.put("k", 42, Version(1, 0))
+        assert ws.get("k") == 42
+        assert ws.version_of("k") == Version(1, 0)
+
+    def test_delete(self):
+        ws = WorldState()
+        ws.put("k", 1, Version(1, 0))
+        ws.delete("k")
+        assert "k" not in ws
+
+    def test_state_hash_changes_with_content(self):
+        a, b = WorldState(), WorldState()
+        a.put("k", 1, Version(1, 0))
+        b.put("k", 2, Version(1, 0))
+        assert a.state_hash() != b.state_hash()
+
+    def test_state_hash_equal_for_equal_states(self):
+        a, b = WorldState(), WorldState()
+        for ws in (a, b):
+            ws.put("x", 1, Version(1, 0))
+            ws.put("y", [1, 2], Version(1, 1))
+        assert a.state_hash() == b.state_hash()
+
+    def test_copy_is_independent(self):
+        a = WorldState()
+        a.put("k", 1, Version(1, 0))
+        b = a.copy()
+        b.put("k", 2, Version(2, 0))
+        assert a.get("k") == 1
+
+    def test_version_ordering(self):
+        assert Version(1, 5) < Version(2, 0)
+        assert Version(2, 0) < Version(2, 1)
+
+
+class TestLedger:
+    def test_genesis_height(self):
+        assert fresh_ledger().height == 1
+
+    def test_append_valid_tx_applies_writes(self, identity):
+        ledger = fresh_ledger()
+        tx = make_tx(identity, "t1")
+        block = make_block(1, ledger.last_hash, [tx], timestamp=1.0)
+        codes = ledger.append(
+            block, [TxExecution(rwset=RWSet(reads=[], writes=[("k", 7)]))]
+        )
+        assert codes == [TxValidationCode.VALID]
+        assert ledger.state.get("k") == 7
+        assert ledger.tx_status("t1") == (TxValidationCode.VALID, 1)
+
+    def test_unknown_tx_is_pending(self):
+        assert fresh_ledger().tx_status("nope") == (TxValidationCode.PENDING, None)
+
+    def test_mvcc_stale_read_rejected(self, identity):
+        ledger = fresh_ledger()
+        tx1 = make_tx(identity, "t1")
+        block1 = make_block(1, ledger.last_hash, [tx1], timestamp=1.0)
+        ledger.append(block1, [TxExecution(rwset=RWSet(writes=[("k", 1)]))])
+
+        # tx2 read "k" before block1 committed (observed version None).
+        tx2 = make_tx(identity, "t2")
+        block2 = make_block(2, ledger.last_hash, [tx2], timestamp=2.0)
+        codes = ledger.append(
+            block2,
+            [TxExecution(rwset=RWSet(reads=[("k", None)], writes=[("k", 2)]))],
+        )
+        assert codes == [TxValidationCode.MVCC_READ_CONFLICT]
+        assert ledger.state.get("k") == 1
+
+    def test_block_level_kvs_conflict_second_tx_rejected(self, identity):
+        """Two updates to the same key in one block: Fabric's block-level
+        lock rejects the latter (§6 — two successive SHOOT events)."""
+        ledger = fresh_ledger()
+        txa, txb = make_tx(identity, "a"), make_tx(identity, "b")
+        block = make_block(1, ledger.last_hash, [txa, txb], timestamp=1.0)
+        codes = ledger.append(
+            block,
+            [
+                TxExecution(rwset=RWSet(reads=[("k", None)], writes=[("k", 1)])),
+                TxExecution(rwset=RWSet(reads=[("k", None)], writes=[("k", 2)])),
+            ],
+        )
+        assert codes == [
+            TxValidationCode.VALID,
+            TxValidationCode.MVCC_READ_CONFLICT,
+        ]
+        assert ledger.state.get("k") == 1
+
+    def test_disjoint_keys_in_block_both_commit(self, identity):
+        """Per-player-per-asset KVS split (§6 opt. i): disjoint keys do
+        not conflict within a block."""
+        ledger = fresh_ledger()
+        txa, txb = make_tx(identity, "a"), make_tx(identity, "b")
+        block = make_block(1, ledger.last_hash, [txa, txb], timestamp=1.0)
+        codes = ledger.append(
+            block,
+            [
+                TxExecution(rwset=RWSet(reads=[("p1/ammo", None)], writes=[("p1/ammo", 49)])),
+                TxExecution(rwset=RWSet(reads=[("p1/health", None)], writes=[("p1/health", 90)])),
+            ],
+        )
+        assert codes == [TxValidationCode.VALID, TxValidationCode.VALID]
+
+    def test_invalid_execution_not_applied(self, identity):
+        ledger = fresh_ledger()
+        tx = make_tx(identity, "t1")
+        block = make_block(1, ledger.last_hash, [tx], timestamp=1.0)
+        codes = ledger.append(
+            block,
+            [
+                TxExecution(
+                    rwset=RWSet(writes=[("k", 1)]),
+                    code=TxValidationCode.CONTRACT_REJECTED,
+                )
+            ],
+        )
+        assert codes == [TxValidationCode.CONTRACT_REJECTED]
+        assert ledger.state.get("k") is None
+
+    def test_wrong_block_number_rejected(self, identity):
+        ledger = fresh_ledger()
+        tx = make_tx(identity, "t1")
+        block = make_block(5, ledger.last_hash, [tx], timestamp=1.0)
+        with pytest.raises(LedgerError):
+            ledger.append(block, [TxExecution(rwset=RWSet())])
+
+    def test_wrong_previous_hash_rejected(self, identity):
+        ledger = fresh_ledger()
+        tx = make_tx(identity, "t1")
+        block = make_block(1, "f" * 64, [tx], timestamp=1.0)
+        with pytest.raises(LedgerError):
+            ledger.append(block, [TxExecution(rwset=RWSet())])
+
+    def test_execution_count_mismatch_rejected(self, identity):
+        ledger = fresh_ledger()
+        tx = make_tx(identity, "t1")
+        block = make_block(1, ledger.last_hash, [tx], timestamp=1.0)
+        with pytest.raises(LedgerError):
+            ledger.append(block, [])
+
+    def test_chain_validates_and_detects_tampering(self, identity):
+        ledger = fresh_ledger()
+        for i in range(3):
+            tx = make_tx(identity, f"t{i}")
+            block = make_block(i + 1, ledger.last_hash, [tx], timestamp=float(i))
+            ledger.append(block, [TxExecution(rwset=RWSet(writes=[(f"k{i}", i)]))])
+        assert ledger.validate_chain()
+
+        # Tamper with a committed transaction: the data hash breaks.
+        victim = ledger.block(2).transactions[0]
+        object.__setattr__(victim.proposal, "args", ("cheat",))
+        assert not ledger.validate_chain()
+
+    def test_versions_recorded_per_tx_index(self, identity):
+        ledger = fresh_ledger()
+        txa, txb = make_tx(identity, "a"), make_tx(identity, "b")
+        block = make_block(1, ledger.last_hash, [txa, txb], timestamp=1.0)
+        ledger.append(
+            block,
+            [
+                TxExecution(rwset=RWSet(writes=[("x", 1)])),
+                TxExecution(rwset=RWSet(writes=[("y", 2)])),
+            ],
+        )
+        assert ledger.state.version_of("x") == Version(1, 0)
+        assert ledger.state.version_of("y") == Version(1, 1)

@@ -1,0 +1,104 @@
+"""Tests for ordering-service details and the §8(2) priority extension."""
+
+import pytest
+
+from repro.blockchain import BlockchainNetwork, FabricConfig, TxValidationCode
+from repro.simnet import LAN_1GBPS
+
+from conftest import CounterContract
+
+
+def make_chain(config):
+    chain = BlockchainNetwork(n_peers=2, profile=LAN_1GBPS, config=config, seed=0)
+    chain.install_contract(CounterContract)
+    client = chain.create_client("c0")
+    done = []
+    client.invoke("counter", "init", ("m",), ("ctr/m",),
+                  on_complete=lambda r, l: done.append(r))
+    chain.run_until_idle()
+    assert done[0].code == TxValidationCode.VALID
+    return chain, client
+
+
+class TestBlockCutting:
+    def test_timeout_cuts_partial_block(self):
+        chain, client = make_chain(FabricConfig(max_block_txs=10, batch_timeout_ms=8.0))
+        results = []
+        client.invoke("counter", "add", ("m", 1), ("ctr/m",),
+                      on_complete=lambda r, l: results.append(r))
+        chain.run_until_idle()
+        assert results[0].code == TxValidationCode.VALID
+        # The block was cut by timeout, with a single transaction.
+        block = chain.peers[0].ledger.block(2)
+        assert len(block.transactions) == 1
+
+    def test_full_batch_cuts_immediately(self):
+        chain, client = make_chain(FabricConfig(max_block_txs=2, batch_timeout_ms=10_000.0))
+        results = []
+        for name in ("a", "b"):
+            client.invoke("counter", "init", (name,), (f"ctr/{name}",),
+                          on_complete=lambda r, l: results.append(r))
+        chain.run_until_idle()
+        assert [r.code for r in results] == [TxValidationCode.VALID] * 2
+        block = chain.peers[0].ledger.block(2)
+        assert len(block.transactions) == 2
+
+    def test_orderer_counts_work(self):
+        chain, client = make_chain(FabricConfig())
+        assert chain.orderer.blocks_cut == 1
+        assert chain.orderer.txs_ordered == 1
+
+
+class TestPriorityOrdering:
+    def _submit_pair(self, config):
+        """Submit an 'add' then a 'sub' that land in one block; returns
+        the in-block function order."""
+        chain, client = make_chain(config.with_options(
+            max_block_txs=2, batch_timeout_ms=50.0
+        ))
+        results = []
+        client.invoke("counter", "add", ("m", 5), ("ctr/m",),
+                      on_complete=lambda r, l: results.append(r))
+        client.invoke("counter", "sub", ("m", 1), ("ctr/m2",),
+                      on_complete=lambda r, l: results.append(r))
+        chain.run_until_idle()
+        block = chain.peers[0].ledger.block(2)
+        assert len(block.transactions) == 2
+        return [tx.proposal.function for tx in block.transactions]
+
+    def test_default_order_is_by_timestamp(self):
+        assert self._submit_pair(FabricConfig()) == ["add", "sub"]
+
+    def test_priority_function_jumps_ahead(self):
+        """The §8(2) extension: a prioritised function is ordered first
+        within the block even when submitted later."""
+        order = self._submit_pair(FabricConfig(priority_functions=("sub",)))
+        assert order == ["sub", "add"]
+
+    def test_priority_changes_conflict_winner(self):
+        """With the block-level KVS lock, priority decides which of two
+        conflicting updates survives."""
+        def winner(config):
+            chain, client = make_chain(config.with_options(
+                max_block_txs=2, batch_timeout_ms=50.0
+            ))
+            seeded = []
+            client.invoke("counter", "add", ("m", 10), ("ctr/m",),
+                          on_complete=lambda r, l: seeded.append(r.code))
+            chain.run_until_idle()
+            assert seeded == [TxValidationCode.VALID]
+            results = {}
+            client.invoke("counter", "add", ("m", 5), ("ctr/m",),
+                          on_complete=lambda r, l: results.setdefault("add", r.code))
+            client.invoke("counter", "sub", ("m", 1), ("ctr/m",),
+                          on_complete=lambda r, l: results.setdefault("sub", r.code))
+            chain.run_until_idle()
+            return results
+
+        plain = winner(FabricConfig())
+        assert plain["add"] == TxValidationCode.VALID
+        assert plain["sub"] == TxValidationCode.MVCC_READ_CONFLICT
+
+        prioritised = winner(FabricConfig(priority_functions=("sub",)))
+        assert prioritised["sub"] == TxValidationCode.VALID
+        assert prioritised["add"] == TxValidationCode.MVCC_READ_CONFLICT

@@ -1,0 +1,311 @@
+"""Integration tests: the full execute-order-vote-commit-sync pipeline."""
+
+import pytest
+
+from repro.blockchain import (
+    BlockchainNetwork,
+    FabricConfig,
+    TxValidationCode,
+)
+from repro.simnet import LAN_1GBPS, TakedownAttack
+
+from conftest import BrokenCounterContract, CounterContract
+
+
+def make_chain(n_peers=4, profile=LAN_1GBPS, config=None, policy="majority", seed=0):
+    chain = BlockchainNetwork(
+        n_peers=n_peers, profile=profile, config=config, policy=policy, seed=seed
+    )
+    chain.install_contract(CounterContract)
+    return chain
+
+
+def submit_and_wait(chain, client, function, args, touched=("ctr/main",)):
+    results = []
+    client.invoke(
+        "counter", function, args, touched_keys=touched,
+        on_complete=lambda res, lat: results.append((res, lat)),
+    )
+    chain.run_until_idle()
+    assert results, "transaction never completed"
+    return results[0]
+
+
+class TestHappyPath:
+    def test_valid_update_commits_everywhere(self):
+        chain = make_chain()
+        client = chain.create_client("c0")
+        res, latency = submit_and_wait(chain, client, "init", ("main",))
+        assert res.code == TxValidationCode.VALID
+        assert latency > 0
+        for peer in chain.peers:
+            assert peer.ledger.state.get("ctr/main") == 0
+            assert peer.synced_height == 1
+            assert not peer.diverged
+
+    def test_sequential_updates_apply_in_order(self):
+        chain = make_chain()
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+        submit_and_wait(chain, client, "add", ("main", 5))
+        res, _ = submit_and_wait(chain, client, "add", ("main", 2))
+        assert res.code == TxValidationCode.VALID
+        assert chain.peers[0].ledger.state.get("ctr/main") == 7
+        assert chain.all_synced()
+
+    def test_ledgers_identical_across_peers(self):
+        chain = make_chain(n_peers=5)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+        for i in range(4):
+            submit_and_wait(chain, client, "add", ("main", i + 1))
+        hashes = {p.ledger.state_hash() for p in chain.peers}
+        assert len(hashes) == 1
+        assert all(p.ledger.validate_chain() for p in chain.peers)
+
+    def test_latency_reported_in_simulated_ms(self):
+        chain = make_chain()
+        client = chain.create_client("c0")
+        _, latency = submit_and_wait(chain, client, "init", ("main",))
+        # LAN pipeline with 4 peers: well under the paper's 34 ms bound.
+        assert 0 < latency < 34.0
+
+
+class TestRejections:
+    def test_contract_rejection_is_reported(self):
+        """An illegal transition (counter below zero) must be rejected by
+        consensus and must not mutate any peer's state."""
+        chain = make_chain()
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+        res, _ = submit_and_wait(chain, client, "sub", ("main", 10))
+        assert res.code == TxValidationCode.CONTRACT_REJECTED
+        assert chain.peers[0].ledger.state.get("ctr/main") == 0
+
+    def test_duplicate_nonce_rejected(self):
+        chain = make_chain()
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+
+        tx1 = client.build_transaction("counter", "add", ("main", 1), nonce="fixed")
+        results = []
+        client.submit(tx1, on_complete=lambda r, l: results.append(r))
+        chain.run_until_idle()
+        tx2 = client.build_transaction("counter", "add", ("main", 1), nonce="fixed")
+        client.submit(tx2, on_complete=lambda r, l: results.append(r))
+        chain.run_until_idle()
+
+        assert results[0].code == TxValidationCode.VALID
+        assert results[1].code == TxValidationCode.DUPLICATE_NONCE
+        assert chain.peers[0].ledger.state.get("ctr/main") == 1
+
+    def test_unknown_contract_rejected(self):
+        chain = make_chain()
+        client = chain.create_client("c0")
+        results = []
+        client.invoke("nope", "f", (), on_complete=lambda r, l: results.append(r))
+        chain.run_until_idle()
+        assert results[0].code == TxValidationCode.UNKNOWN_CONTRACT
+
+    def test_forged_signature_rejected(self):
+        chain = make_chain()
+        client = chain.create_client("c0")
+        tx = client.build_transaction("counter", "init", ("main",))
+        forged = type(tx)(
+            proposal=tx.proposal, certificate=tx.certificate, signature=123456789
+        )
+        results = []
+        client.submit(forged, on_complete=lambda r, l: results.append(r))
+        chain.run_until_idle()
+        assert results[0].code == TxValidationCode.BAD_SIGNATURE
+
+
+class TestKVSConflicts:
+    def test_same_key_txs_in_one_block_conflict(self):
+        """Block-level KVS lock (§6): with block size 2 and two updates to
+        the same counter submitted back-to-back, the second is rejected."""
+        config = FabricConfig(max_block_txs=2, batch_timeout_ms=50.0)
+        chain = make_chain(config=config)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+
+        results = []
+        client.invoke("counter", "add", ("main", 1), ("ctr/main",),
+                      on_complete=lambda r, l: results.append(r.code))
+        client.invoke("counter", "add", ("main", 1), ("ctr/main",),
+                      on_complete=lambda r, l: results.append(r.code))
+        chain.run_until_idle()
+        assert sorted(results) == [
+            TxValidationCode.MVCC_READ_CONFLICT,
+            TxValidationCode.VALID,
+        ]
+        assert chain.peers[0].ledger.state.get("ctr/main") == 1
+
+    def test_mutually_exclusive_blocks_avoid_conflicts(self):
+        """§6 opt. ii: the orderer keeps conflicting txs out of one block,
+        so both commit (in successive blocks)."""
+        config = FabricConfig(
+            max_block_txs=2, batch_timeout_ms=5.0, mutually_exclusive_blocks=True
+        )
+        chain = make_chain(config=config)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+
+        results = []
+        client.invoke("counter", "add", ("main", 1), ("ctr/main",),
+                      on_complete=lambda r, l: results.append(r.code))
+        client.invoke("counter", "add", ("main", 1), ("ctr/main",),
+                      on_complete=lambda r, l: results.append(r.code))
+        chain.run_until_idle()
+        assert results == [TxValidationCode.VALID, TxValidationCode.VALID]
+        assert chain.peers[0].ledger.state.get("ctr/main") == 2
+
+    def test_disjoint_keys_share_block(self):
+        config = FabricConfig(
+            max_block_txs=2, batch_timeout_ms=50.0, mutually_exclusive_blocks=True
+        )
+        chain = make_chain(config=config)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("a",), touched=("ctr/a",))
+        submit_and_wait(chain, client, "init", ("b",), touched=("ctr/b",))
+
+        results = []
+        client.invoke("counter", "add", ("a", 1), ("ctr/a",),
+                      on_complete=lambda r, l: results.append(r.code))
+        client.invoke("counter", "add", ("b", 1), ("ctr/b",),
+                      on_complete=lambda r, l: results.append(r.code))
+        chain.run_until_idle()
+        assert results == [TxValidationCode.VALID, TxValidationCode.VALID]
+        # Both were cut into a single block (block numbers: 1 init, 2 init, 3 both)
+        assert chain.peers[0].ledger.height == 4
+
+
+class TestByzantineAndFaults:
+    def test_minority_tampered_contract_outvoted(self):
+        """A minority of peers running a tampered contract is outvoted;
+        honest peers commit, tampered peers diverge and stall."""
+        chain = BlockchainNetwork(n_peers=5, profile=LAN_1GBPS)
+        for i, peer in enumerate(chain.peers):
+            peer.install_contract(
+                BrokenCounterContract() if i < 2 else CounterContract()
+            )
+        client = chain.create_client("c0", anchor=chain.peers[2])
+        results = []
+        client.invoke("counter", "init", ("main",), ("ctr/main",),
+                      on_complete=lambda r, l: results.append(r))
+        chain.run_until_idle()
+        assert results[0].code == TxValidationCode.VALID
+        assert chain.peers[2].ledger.state.get("ctr/main") == 0
+        assert chain.peers[0].diverged and chain.peers[1].diverged
+
+    def test_majority_rejection_blocks_cheat(self):
+        """When the *majority* rejects (honest peers see a cheat), the
+        update does not reach consensus anywhere."""
+        chain = make_chain(n_peers=5)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+        res, _ = submit_and_wait(chain, client, "sub", ("main", 99))
+        assert res.code == TxValidationCode.CONTRACT_REJECTED
+        assert all(p.ledger.state.get("ctr/main") == 0 for p in chain.peers)
+
+    def test_progress_with_minority_peers_down(self):
+        """Consensus progresses with 3 of 8 peers (37.5%) taken down —
+        the paper's strongest DDoS configuration."""
+        chain = make_chain(n_peers=8)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+
+        TakedownAttack(["peer5", "peer6", "peer7"]).apply(chain.net)
+        res, _ = submit_and_wait(chain, client, "add", ("main", 3))
+        assert res.code == TxValidationCode.VALID
+        assert chain.peers[0].ledger.state.get("ctr/main") == 3
+
+    def test_no_progress_with_majority_down(self):
+        """With a majority down, consensus can never be decided: the
+        transaction stays pending (the attack succeeded, which for P2P
+        requires taking down far more nodes than for C/S)."""
+        chain = make_chain(n_peers=4)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+
+        TakedownAttack(["peer1", "peer2", "peer3"]).apply(chain.net)
+        done = []
+        client.invoke("counter", "add", ("main", 1), ("ctr/main",),
+                      on_complete=lambda r, l: done.append(r))
+        chain.run(until=chain.now + 5000.0)
+        assert done == []
+        assert client.pending_count() == 1
+
+
+class TestNetworkBuilder:
+    def test_requires_at_least_one_peer(self):
+        with pytest.raises(ValueError):
+            BlockchainNetwork(n_peers=0)
+
+    def test_region_count_must_match(self):
+        with pytest.raises(ValueError):
+            BlockchainNetwork(n_peers=3, regions=["dallas"])
+
+    def test_single_peer_network_works(self):
+        chain = make_chain(n_peers=1)
+        client = chain.create_client("c0")
+        res, _ = submit_and_wait(chain, client, "init", ("main",))
+        assert res.code == TxValidationCode.VALID
+
+    def test_genesis_identical_across_peers(self):
+        chain = make_chain(n_peers=4)
+        digests = {p.ledger.genesis.digest() for p in chain.peers}
+        assert len(digests) == 1
+
+
+class TestCatchUp:
+    def test_revived_peer_catches_up(self):
+        """A peer taken down (DDoS) misses blocks; once reachable again
+        it detects the gap on the next delivery, requests the missing
+        range from the ordering service, replays it deterministically
+        and rejoins with an identical ledger."""
+        from repro.simnet import TakedownAttack
+
+        chain = make_chain(n_peers=4)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+
+        attack = TakedownAttack(["peer3"])
+        attack.apply(chain.net)
+        for i in range(3):
+            submit_and_wait(chain, client, "add", ("main", 1))
+        assert chain.peers[3].committed_height == 1  # missed three blocks
+
+        attack.lift(chain.net)
+        submit_and_wait(chain, client, "add", ("main", 1))
+        chain.run_until_idle()
+
+        revived = chain.peers[3]
+        assert revived.committed_height == chain.peers[0].committed_height
+        assert revived.synced_height == chain.peers[0].synced_height
+        assert revived.ledger.state.get("ctr/main") == 4
+        assert revived.ledger.state_hash() == chain.peers[0].ledger.state_hash()
+        assert revived.ledger.validate_chain()
+        assert not revived.diverged
+
+    def test_catch_up_preserves_rejections(self):
+        """Catch-up replays the consensus outcome exactly, including
+        transactions the network rejected while the peer was away."""
+        from repro.simnet import TakedownAttack
+
+        chain = make_chain(n_peers=4)
+        client = chain.create_client("c0")
+        submit_and_wait(chain, client, "init", ("main",))
+
+        attack = TakedownAttack(["peer3"])
+        attack.apply(chain.net)
+        res, _ = submit_and_wait(chain, client, "sub", ("main", 99))  # cheat
+        assert res.code == TxValidationCode.CONTRACT_REJECTED
+        submit_and_wait(chain, client, "add", ("main", 2))
+
+        attack.lift(chain.net)
+        submit_and_wait(chain, client, "add", ("main", 1))
+        chain.run_until_idle()
+        revived = chain.peers[3]
+        assert revived.ledger.state.get("ctr/main") == 3
+        assert revived.ledger.state_hash() == chain.peers[0].ledger.state_hash()

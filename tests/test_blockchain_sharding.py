@@ -1,0 +1,91 @@
+"""Tests for the sharded deployment (§8(5) future-work extension)."""
+
+import pytest
+
+from repro.blockchain import ShardedDeployment, TxValidationCode
+from repro.simnet import LAN_1GBPS
+
+from conftest import CounterContract
+
+
+def make_sharded(n_peers=8, n_shards=2):
+    deployment = ShardedDeployment(
+        n_peers=n_peers, n_shards=n_shards, profile=LAN_1GBPS, seed=1
+    )
+    deployment.install_contract(CounterContract)
+    return deployment
+
+
+class TestConstruction:
+    def test_peers_partitioned_across_shards(self):
+        deployment = make_sharded(10, 3)
+        sizes = [len(shard.peers) for shard in deployment.shards]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_peer_names_globally_unique(self):
+        deployment = make_sharded(8, 2)
+        names = [p.name for shard in deployment.shards for p in shard.peers]
+        assert len(names) == len(set(names))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedDeployment(n_peers=4, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardedDeployment(n_peers=2, n_shards=3)
+
+    def test_key_routing_stable_and_total(self):
+        deployment = make_sharded(8, 2)
+        for key in ("ctr/a", "ctr/b", "asset/p1/6", "asset/p2/1"):
+            index = deployment.shard_index_for_key(key)
+            assert index == deployment.shard_index_for_key(key)
+            assert deployment.shard_for_key(key) is deployment.shards[index]
+
+
+class TestOperation:
+    def test_shards_commit_independently(self):
+        deployment = make_sharded(8, 2)
+        results = []
+        clients = []
+        for i, shard in enumerate(deployment.shards):
+            client = shard.create_client(f"client{i}")
+            clients.append(client)
+            client.invoke("counter", "init", (f"c{i}",), (f"ctr/c{i}",),
+                          on_complete=lambda r, l: results.append(r.code))
+        deployment.run_until_idle()
+        assert results == [TxValidationCode.VALID] * 2
+        # Each shard holds only its own keys.
+        assert deployment.shards[0].peers[0].ledger.state.get("ctr/c0") == 0
+        assert deployment.shards[0].peers[0].ledger.state.get("ctr/c1") is None
+        assert deployment.shards[1].peers[0].ledger.state.get("ctr/c1") == 0
+        assert deployment.all_synced()
+
+    def test_shared_clock(self):
+        """Both shards live on one simulated network/clock."""
+        deployment = make_sharded(8, 2)
+        assert deployment.shards[0].net is deployment.shards[1].net
+        assert deployment.shards[0].scheduler is deployment.scheduler
+
+    def test_shard_latency_tracks_shard_size_not_room_size(self):
+        """The point of sharding: a 16-peer room in 2 shards validates
+        like an 8-peer room."""
+        def avg_latency(deployment):
+            shard = deployment.shards[0]
+            client = shard.create_client("probe")
+            latencies = []
+            client.invoke("counter", "init", ("m",), ("ctr/m",),
+                          on_complete=lambda r, l: latencies.append(l))
+            deployment.run_until_idle()
+            for _ in range(5):
+                client.invoke("counter", "add", ("m", 1), ("ctr/m",),
+                              on_complete=lambda r, l: latencies.append(l))
+                deployment.run_until_idle()
+            return sum(latencies) / len(latencies)
+
+        from repro.simnet import INTERNET_US
+
+        sharded = ShardedDeployment(16, 2, profile=INTERNET_US, seed=2)
+        sharded.install_contract(CounterContract)
+        whole = ShardedDeployment(16, 1, profile=INTERNET_US, seed=2)
+        whole.install_contract(CounterContract)
+        assert avg_latency(sharded) < avg_latency(whole)

@@ -1,0 +1,203 @@
+"""Tests for the smart-contract code generator."""
+
+import pytest
+
+from repro.blockchain import TxValidationCode
+from repro.core import (
+    doom_spec,
+    generate_contract,
+    generate_contract_source,
+    parse_spec,
+)
+
+from conftest import ContractHarness
+from test_core_spec import MINIMAL
+
+
+@pytest.fixture(scope="module")
+def doom_cls():
+    return generate_contract(doom_spec())
+
+
+def make_harness(cls=None, split_kvs=True, spec=None):
+    if cls is None:
+        cls = generate_contract(spec or doom_spec(), split_kvs=split_kvs)
+    return ContractHarness(cls())
+
+
+class TestGeneration:
+    def test_source_is_valid_python(self):
+        source = generate_contract_source(doom_spec())
+        compile(source, "<test>", "exec")
+
+    def test_source_mentions_every_event(self):
+        source = generate_contract_source(doom_spec())
+        for event in doom_spec().events.values():
+            assert f"on_{event.name.lower()}" in source
+
+    def test_class_name_override(self):
+        cls = generate_contract(doom_spec(), class_name="CustomName")
+        assert cls.__name__ == "CustomName"
+
+    def test_contract_lists_public_apis(self, doom_cls):
+        functions = doom_cls().functions()
+        assert "addPlayer" in functions
+        assert "startGame" in functions
+        assert "Shoot" in functions
+        assert len(functions) == 13  # 11 events + 2 lifecycle APIs
+
+
+class TestLifecycle:
+    def test_add_player_initialises_assets(self):
+        harness = make_harness()
+        harness.ok("addPlayer", creator="alice")
+        assert harness.state.get("game/roster") == ["alice"]
+        assert harness.state.get("asset/alice/1") == 100.0  # Health default
+        assert harness.state.get("asset/alice/2") == 50.0  # Ammunition
+
+    def test_double_join_rejected(self):
+        harness = make_harness()
+        harness.ok("addPlayer", creator="alice")
+        code, _ = harness.call("addPlayer", creator="alice")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+
+    def test_room_capacity_enforced(self):
+        harness = make_harness()
+        for i in range(4):
+            harness.ok("addPlayer", creator=f"p{i}")
+        code, _ = harness.call("addPlayer", creator="p5")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+
+    def test_events_require_started_game(self):
+        harness = make_harness()
+        harness.ok("addPlayer", creator="alice")
+        code, _ = harness.call("Shoot", creator="alice")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+        harness.ok("startGame", creator="alice")
+        harness.ok("Shoot", creator="alice")
+
+    def test_start_requires_players(self):
+        harness = make_harness()
+        code, _ = harness.call("startGame", creator="alice")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+
+    def test_unknown_function_rejected(self):
+        harness = make_harness()
+        code, _ = harness.call("fireTheLasers", creator="alice")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+
+
+class TestConstraintEngine:
+    def _started(self, **kwargs):
+        harness = make_harness(**kwargs)
+        harness.ok("addPlayer", creator="alice")
+        harness.ok("startGame", creator="alice")
+        return harness
+
+    def test_shoot_decrements_ammo(self):
+        harness = self._started()
+        harness.ok("Shoot", creator="alice")
+        assert harness.state.get("asset/alice/2") == 49.0
+
+    def test_ammo_cannot_go_negative(self):
+        """The generated bound check alone prevents the unlimited-ammo
+        cheat: the 51st shot from a 50-round magazine is rejected."""
+        harness = self._started()
+        for _ in range(50):
+            harness.ok("Shoot", creator="alice")
+        code, _ = harness.call("Shoot", creator="alice")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+        assert harness.state.get("asset/alice/2") == 0.0
+
+    def test_medkit_heals_within_cap(self):
+        harness = self._started()
+        for _ in range(4):
+            harness.ok("Damage", creator="alice")  # -1 per Fig. 1 power 0
+        harness.ok("PickupMedkit", creator="alice")
+        assert harness.state.get("asset/alice/1") == 121.0
+
+    def test_health_cap_enforced(self):
+        harness = self._started()
+        for _ in range(4):
+            harness.ok("PickupMedkit", creator="alice")
+        code, _ = harness.call("PickupMedkit", creator="alice")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+
+    def test_multiplicative_power(self):
+        spec = parse_spec(MINIMAL)
+        harness = make_harness(spec=spec)
+        harness.ok("addPlayer", creator="alice")
+        harness.ok("startGame", creator="alice")
+        harness.ok("Boost", creator="alice")
+        assert harness.state.get("asset/alice/1") == 200.0
+
+    def test_star_pid_requires_target(self):
+        spec = parse_spec(MINIMAL)
+        harness = make_harness(spec=spec)
+        harness.ok("addPlayer", creator="alice")
+        harness.ok("addPlayer", creator="bob")
+        harness.ok("startGame", creator="alice")
+        code, _ = harness.call("Hit", creator="alice")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+        harness.ok("Hit", {"target": "bob"}, creator="alice")
+        assert harness.state.get("asset/bob/1") == 90.0
+
+    def test_uninitialised_player_rejected(self):
+        harness = self._started()
+        code, _ = harness.call("Shoot", creator="mallory")
+        assert code == TxValidationCode.CONTRACT_REJECTED
+
+
+class TestKVSLayouts:
+    def test_split_layout_uses_per_asset_keys(self):
+        harness = make_harness(split_kvs=True)
+        harness.ok("addPlayer", creator="alice")
+        assert "asset/alice/1" in harness.state
+        assert "player/alice" not in harness.state
+
+    def test_monolithic_layout_uses_single_key(self):
+        harness = make_harness(split_kvs=False)
+        harness.ok("addPlayer", creator="alice")
+        assert "player/alice" in harness.state
+        assert "asset/alice/1" not in harness.state
+
+    def test_layouts_apply_identical_logic(self):
+        split = make_harness(split_kvs=True)
+        mono = make_harness(split_kvs=False)
+        for harness in (split, mono):
+            harness.ok("addPlayer", creator="alice")
+            harness.ok("startGame", creator="alice")
+            for _ in range(3):
+                harness.ok("Shoot", creator="alice")
+        assert split.state.get("asset/alice/2") == 47.0
+        assert mono.state.get("player/alice")["2"] == 47.0
+
+    def test_split_layout_touches_disjoint_keys(self):
+        """The point of §6 opt. i: a shoot and a damage touch different
+        keys under the split layout but the same key monolithically."""
+        split = make_harness(split_kvs=True)
+        split.ok("addPlayer", creator="alice")
+        split.ok("startGame", creator="alice")
+        shoot_keys = set(split.ok("Shoot", creator="alice").write_keys())
+        damage_keys = set(split.ok("Damage", creator="alice").write_keys())
+        shoot_keys = {k for k in shoot_keys if not k.startswith("~nonce")}
+        damage_keys = {k for k in damage_keys if not k.startswith("~nonce")}
+        assert shoot_keys.isdisjoint(damage_keys)
+
+        mono = make_harness(split_kvs=False)
+        mono.ok("addPlayer", creator="alice")
+        mono.ok("startGame", creator="alice")
+        shoot_keys = set(mono.ok("Shoot", creator="alice").write_keys())
+        damage_keys = set(mono.ok("Damage", creator="alice").write_keys())
+        assert "player/alice" in shoot_keys & damage_keys
+
+
+class TestReplayDefence:
+    def test_duplicate_nonce_rejected_by_boilerplate(self):
+        harness = make_harness()
+        harness.ok("addPlayer", creator="alice")
+        harness.ok("startGame", creator="alice")
+        code1, _ = harness.call("Shoot", creator="alice", nonce="fixed")
+        code2, _ = harness.call("Shoot", creator="alice", nonce="fixed")
+        assert code1 == TxValidationCode.VALID
+        assert code2 == TxValidationCode.DUPLICATE_NONCE

@@ -1,0 +1,146 @@
+"""Tests for peer discovery and the anonymity directory."""
+
+import pytest
+
+from repro.blockchain import CertificateAuthority
+from repro.core import (
+    Advertisement,
+    AnonymityError,
+    DiscoveryListener,
+    JoinAccepted,
+    JoinRejected,
+    JoiningPeer,
+    build_directory,
+)
+from repro.simnet import LAN_1GBPS, Network
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority()
+
+
+def make_room(ca, max_peers=4, window_ms=1000.0, on_closed=None):
+    net = Network(profile=LAN_1GBPS, seed=0)
+    ad = Advertisement(
+        game="doom", contract_digest="abc123", consensus_policy="majority",
+        listen_window_ms=window_ms,
+    )
+    listener = net.register(
+        DiscoveryListener(
+            "initiator", "lan", ad, max_peers,
+            validate_certificate=ca.verify, on_closed=on_closed,
+        )
+    )
+    listener.open()
+    return net, listener
+
+
+def make_peer(net, ca, name):
+    cert = ca.enroll(name).certificate
+    return net.register(JoiningPeer(name, "lan", cert, f"10.0.0.{name[-1]}"))
+
+
+class TestDiscovery:
+    def test_peers_join_within_window(self, ca):
+        closed = []
+        net, listener = make_room(ca, on_closed=closed.append)
+        peers = [make_peer(net, ca, f"peer{i}") for i in range(3)]
+        for peer in peers:
+            peer.join(listener)
+        net.run_until_idle()
+        assert all(isinstance(p.outcome, JoinAccepted) for p in peers)
+        # Arrival order over the network may differ from send order.
+        assert {r.certificate.subject for r in closed[0]} == {p.name for p in peers}
+
+    def test_window_closes_after_duration(self, ca):
+        net, listener = make_room(ca, window_ms=100.0)
+        late = make_peer(net, ca, "peer9")
+        net.scheduler.call_after(200.0, late.join, listener)
+        net.run_until_idle()
+        assert isinstance(late.outcome, JoinRejected)
+        assert "closed" in late.outcome.reason
+
+    def test_room_fills_and_closes(self, ca):
+        net, listener = make_room(ca, max_peers=2)
+        peers = [make_peer(net, ca, f"peer{i}") for i in range(3)]
+        for peer in peers:
+            peer.join(listener)
+        net.run_until_idle()
+        accepted = [p for p in peers if isinstance(p.outcome, JoinAccepted)]
+        rejected = [p for p in peers if isinstance(p.outcome, JoinRejected)]
+        assert len(accepted) == 2 and len(rejected) == 1
+
+    def test_duplicate_subject_rejected(self, ca):
+        net, listener = make_room(ca)
+        peer = make_peer(net, ca, "peer1")
+        peer.join(listener)
+        net.run_until_idle()
+        twin = net.register(JoiningPeer("twin", "lan", peer.certificate, "10.0.0.9"))
+        twin.join(listener)
+        net.run_until_idle()
+        assert isinstance(twin.outcome, JoinRejected)
+
+    def test_untrusted_certificate_rejected(self, ca):
+        net, listener = make_room(ca)
+        evil_ca = CertificateAuthority("evil", seed=42)
+        mallory = net.register(
+            JoiningPeer("mallory", "lan", evil_ca.enroll("mallory").certificate, "6.6.6.6")
+        )
+        mallory.join(listener)
+        net.run_until_idle()
+        assert isinstance(mallory.outcome, JoinRejected)
+        assert "certificate" in mallory.outcome.reason
+
+    def test_roster_positions_sequential(self, ca):
+        net, listener = make_room(ca)
+        peers = [make_peer(net, ca, f"peer{i}") for i in range(3)]
+        for peer in peers:
+            peer.join(listener)
+        net.run_until_idle()
+        assert sorted(p.outcome.roster_position for p in peers) == [0, 1, 2]
+
+    def test_zero_slot_room_rejected(self, ca):
+        net = Network(profile=LAN_1GBPS)
+        ad = Advertisement("doom", "d", "majority", 100.0)
+        with pytest.raises(ValueError):
+            DiscoveryListener("x", "lan", ad, 0, ca.verify)
+
+
+class TestAnonymity:
+    def test_directory_bijective(self, ca):
+        certs = [ca.enroll(f"peer{i}").certificate for i in range(8)]
+        directory = build_directory(certs, session_seed=1)
+        players = directory.players()
+        assert len(set(players)) == 8
+        for cert in certs:
+            assert directory.subject_for(directory.player_for(cert.subject)) == cert.subject
+
+    def test_identities_deterministic_per_session(self, ca):
+        certs = [ca.enroll(f"peer{i}").certificate for i in range(3)]
+        a = build_directory(certs, session_seed=5)
+        b = build_directory(certs, session_seed=5)
+        assert a.players() == b.players()
+
+    def test_identities_differ_across_sessions(self, ca):
+        certs = [ca.enroll(f"peer{i}").certificate for i in range(3)]
+        a = build_directory(certs, session_seed=1)
+        b = build_directory(certs, session_seed=2)
+        assert a.players() != b.players()
+
+    def test_player_ids_do_not_leak_subjects(self, ca):
+        certs = [ca.enroll("alice").certificate]
+        directory = build_directory(certs)
+        assert "alice" not in directory.players()[0]
+
+    def test_unknown_lookups_raise(self, ca):
+        certs = [ca.enroll("alice").certificate]
+        directory = build_directory(certs)
+        with pytest.raises(AnonymityError):
+            directory.player_for("bob")
+        with pytest.raises(AnonymityError):
+            directory.subject_for("player-00000000")
+
+    def test_empty_certificate_list_rejected(self):
+        with pytest.raises(AnonymityError):
+            build_directory([])

@@ -1,0 +1,226 @@
+"""Tests for the hand-written Doom contract (developer logic layer)."""
+
+import pytest
+
+from repro.blockchain import TxValidationCode
+from repro.core import DoomContract
+from repro.game import AssetId, DoomMap, DoomRules, EventType, WeaponId, asset_key
+
+from conftest import ContractHarness
+
+VALID = TxValidationCode.VALID
+REJECTED = TxValidationCode.CONTRACT_REJECTED
+
+
+@pytest.fixture()
+def game_map():
+    return DoomMap.default_map()
+
+
+@pytest.fixture()
+def harness(game_map):
+    h = ContractHarness(DoomContract(game_map=game_map))
+    h.ok("addPlayer", creator="p1")
+    h.ok("addPlayer", creator="p2")
+    h.ok("startGame", creator="p1")
+    return h
+
+
+def player_asset(harness, player, aid):
+    return harness.state.get(asset_key(player, aid))
+
+
+def place_player_at(harness, player, x, y, t=0.0):
+    """Teleport a player for test setup (writes state directly)."""
+    from repro.blockchain import Version
+
+    harness.state.put(
+        asset_key(player, AssetId.POSITION), {"x": x, "y": y, "t": t}, Version(99, 0)
+    )
+
+
+class TestLifecycle:
+    def test_add_player_assigns_spawn_by_roster_position(self, harness, game_map):
+        p1 = player_asset(harness, "p1", AssetId.POSITION)
+        p2 = player_asset(harness, "p2", AssetId.POSITION)
+        assert (p1["x"], p1["y"]) == game_map.spawn_points[0]
+        assert (p2["x"], p2["y"]) == game_map.spawn_points[1]
+
+    def test_fifth_player_rejected(self, harness):
+        harness.ok("addPlayer", creator="p3")
+        harness.ok("addPlayer", creator="p4")
+        code, _ = harness.call("addPlayer", creator="p5")
+        assert code == REJECTED
+
+    def test_event_before_start_rejected(self, game_map):
+        h = ContractHarness(DoomContract(game_map=game_map))
+        h.ok("addPlayer", creator="p1")
+        code, _ = h.call(EventType.SHOOT, {"count": 1}, creator="p1")
+        assert code == REJECTED
+
+
+class TestShootAndWeapons:
+    def test_shoot_spends_ammo(self, harness):
+        harness.ok(EventType.SHOOT, {"count": 3}, creator="p1")
+        assert player_asset(harness, "p1", AssetId.AMMUNITION) == 47
+
+    def test_batched_shoot_spends_total(self, harness):
+        harness.ok(EventType.SHOOT, {"count": 50}, creator="p1")
+        code, _ = harness.call(EventType.SHOOT, {"count": 1}, creator="p1")
+        assert code == REJECTED
+
+    def test_weapon_change_to_unowned_rejected(self, harness):
+        code, _ = harness.call(
+            EventType.WEAPON_CHANGE, {"wid": WeaponId.BFG9000}, creator="p1"
+        )
+        assert code == REJECTED
+
+    def test_weapon_change_to_owned(self, harness):
+        harness.ok(EventType.WEAPON_CHANGE, {"wid": WeaponId.FIST}, creator="p1")
+        assert player_asset(harness, "p1", AssetId.WEAPON)["current"] == WeaponId.FIST
+
+
+class TestDamage:
+    def test_self_reported_damage(self, harness):
+        harness.ok(EventType.DAMAGE, {"amount": 30, "t": 10.0}, creator="p1")
+        assert player_asset(harness, "p1", AssetId.HEALTH)["hp"] == 70
+
+    def test_damage_to_target(self, harness):
+        harness.ok(
+            EventType.DAMAGE, {"amount": 20, "target": "p2", "t": 10.0}, creator="p1"
+        )
+        assert player_asset(harness, "p2", AssetId.HEALTH)["hp"] == 80
+
+    def test_damage_to_stranger_rejected(self, harness):
+        code, _ = harness.call(
+            EventType.DAMAGE, {"amount": 20, "target": "mallory"}, creator="p1"
+        )
+        assert code == REJECTED
+
+    def test_negative_damage_rejected(self, harness):
+        code, _ = harness.call(EventType.DAMAGE, {"amount": -5}, creator="p1")
+        assert code == REJECTED
+
+
+class TestMovement:
+    def test_legal_move_updates_position(self, harness, game_map):
+        spawn = game_map.spawn_points[0]
+        harness.ok(
+            EventType.LOCATION,
+            {"x": spawn[0] + 20.0, "y": spawn[1], "t": 28.6},
+            creator="p1",
+        )
+        assert player_asset(harness, "p1", AssetId.POSITION)["x"] == spawn[0] + 20.0
+
+    def test_teleport_rejected(self, harness, game_map):
+        spawn = game_map.spawn_points[0]
+        code, _ = harness.call(
+            EventType.LOCATION,
+            {"x": spawn[0] + 2000.0, "y": spawn[1], "t": 28.6},
+            creator="p1",
+        )
+        assert code == REJECTED
+
+
+class TestPickups:
+    def test_pickup_requires_item_binding_when_strict(self, harness):
+        code, _ = harness.call(EventType.PICKUP_CLIP, {"t": 1.0}, creator="p1")
+        assert code == REJECTED
+
+    def test_lenient_mode_allows_unbound_pickup(self, game_map):
+        h = ContractHarness(DoomContract(game_map=game_map, strict_pickups=False))
+        h.ok("addPlayer", creator="p1")
+        h.ok("startGame", creator="p1")
+        h.ok(EventType.PICKUP_CLIP, {"t": 1.0}, creator="p1")
+        assert h.state.get(asset_key("p1", AssetId.AMMUNITION)) == 60
+
+    def test_nearby_pickup_accepted(self, harness, game_map):
+        item = game_map.items_of_kind("medkit")[0]
+        place_player_at(harness, "p1", item.x + 5.0, item.y, t=100.0)
+        harness.ok(EventType.DAMAGE, {"amount": 50, "t": 100.0}, creator="p1")
+        harness.ok(
+            EventType.PICKUP_MEDKIT, {"item_id": item.item_id, "t": 100.0},
+            creator="p1",
+        )
+        assert player_asset(harness, "p1", AssetId.HEALTH)["hp"] == 75
+
+    def test_far_pickup_rejected(self, harness, game_map):
+        item = max(
+            game_map.items_of_kind("medkit"),
+            key=lambda i: abs(i.x - game_map.spawn_points[0][0])
+            + abs(i.y - game_map.spawn_points[0][1]),
+        )
+        code, _ = harness.call(
+            EventType.PICKUP_MEDKIT, {"item_id": item.item_id, "t": 10.0},
+            creator="p1",
+        )
+        assert code == REJECTED
+
+    def test_wrong_item_kind_rejected(self, harness, game_map):
+        item = game_map.items_of_kind("clip")[0]
+        place_player_at(harness, "p1", item.x, item.y, t=5.0)
+        code, _ = harness.call(
+            EventType.PICKUP_MEDKIT, {"item_id": item.item_id, "t": 5.0},
+            creator="p1",
+        )
+        assert code == REJECTED
+
+    def test_respawn_window_enforced(self, harness, game_map):
+        item = game_map.items_of_kind("clip")[0]
+        place_player_at(harness, "p1", item.x, item.y, t=5.0)
+        harness.ok(
+            EventType.PICKUP_CLIP, {"item_id": item.item_id, "t": 5.0}, creator="p1"
+        )
+        code, _ = harness.call(
+            EventType.PICKUP_CLIP, {"item_id": item.item_id, "t": 10_000.0},
+            creator="p1",
+        )
+        assert code == REJECTED
+        harness.ok(
+            EventType.PICKUP_CLIP,
+            {"item_id": item.item_id, "t": 5.0 + 31_000.0},
+            creator="p1",
+        )
+
+    def test_weapon_pickup_grants_weapon_and_ammo(self, harness, game_map):
+        item = game_map.items_of_kind(f"weapon:{WeaponId.SHOTGUN}")[0]
+        place_player_at(harness, "p1", item.x, item.y, t=5.0)
+        harness.ok(
+            EventType.PICKUP_WEAPON,
+            {"wid": WeaponId.SHOTGUN, "item_id": item.item_id, "t": 5.0},
+            creator="p1",
+        )
+        weapon = player_asset(harness, "p1", AssetId.WEAPON)
+        assert weapon["current"] == WeaponId.SHOTGUN
+        assert player_asset(harness, "p1", AssetId.AMMUNITION) == 70
+
+    def test_invuln_pickup_blocks_subsequent_damage(self, harness, game_map):
+        item = game_map.items_of_kind("invuln")[0]
+        place_player_at(harness, "p1", item.x, item.y, t=5.0)
+        harness.ok(
+            EventType.PICKUP_INVULN, {"item_id": item.item_id, "t": 5.0},
+            creator="p1",
+        )
+        harness.ok(EventType.DAMAGE, {"amount": 90, "t": 100.0}, creator="p1")
+        assert player_asset(harness, "p1", AssetId.HEALTH)["hp"] == 100
+
+    def test_berserk_heals(self, harness, game_map):
+        item = game_map.items_of_kind("berserk")[0]
+        harness.ok(EventType.DAMAGE, {"amount": 60, "t": 1.0}, creator="p1")
+        place_player_at(harness, "p1", item.x, item.y, t=5.0)
+        harness.ok(
+            EventType.PICKUP_BERSERK, {"item_id": item.item_id, "t": 5.0},
+            creator="p1",
+        )
+        assert player_asset(harness, "p1", AssetId.HEALTH)["hp"] == 100
+        assert player_asset(harness, "p1", AssetId.BERSERK) > 0
+
+
+class TestMonolithicLayout:
+    def test_monolithic_layout_equivalent_logic(self, game_map):
+        h = ContractHarness(DoomContract(game_map=game_map, split_kvs=False))
+        h.ok("addPlayer", creator="p1")
+        h.ok("startGame", creator="p1")
+        h.ok(EventType.SHOOT, {"count": 5}, creator="p1")
+        record = h.state.get("player/p1")
+        assert record[str(AssetId.AMMUNITION)] == 45

@@ -1,0 +1,135 @@
+"""Integration tests: session lifecycle and cheat prevention (§7.2.2)."""
+
+import pytest
+
+from repro.blockchain import TxValidationCode
+from repro.core import (
+    CheatInjector,
+    DOOM_CHEATS,
+    PROTOCOL_CHEATS,
+    GameSession,
+    SessionError,
+    relevant_cheats,
+)
+from repro.game import AssetId, asset_key
+from repro.simnet import LAN_1GBPS
+
+
+@pytest.fixture(scope="module")
+def lan_session():
+    session = GameSession(n_peers=4, profile=LAN_1GBPS, n_players=4, seed=3)
+    session.setup()
+    return session
+
+
+class TestLifecycle:
+    def test_setup_joins_all_players(self, lan_session):
+        roster = lan_session.chain.peers[0].ledger.state.get("game/roster")
+        assert roster == [shim.player for shim in lan_session.shims]
+
+    def test_setup_twice_rejected(self, lan_session):
+        with pytest.raises(SessionError):
+            lan_session.setup()
+
+    def test_replay_before_setup_rejected(self):
+        session = GameSession(n_peers=2, profile=LAN_1GBPS, n_players=1)
+        from repro.game import generate_session
+
+        demo = generate_session("x", 1000.0)
+        with pytest.raises(SessionError):
+            session.play_demo(demo)
+
+    def test_teardown_closes_shims(self):
+        session = GameSession(n_peers=2, profile=LAN_1GBPS, n_players=1)
+        session.setup()
+        session.teardown()
+        assert session.ended
+        from repro.game import EventType, GameEvent
+
+        with pytest.raises(SessionError):
+            session.inject_event(
+                GameEvent(0.0, session.shims[0].player, EventType.SHOOT, {}, 1)
+            )
+
+    def test_anonymity_directory_covers_all_players(self, lan_session):
+        directory = lan_session.network.directory
+        assert len(directory) == 4
+        for shim in lan_session.shims:
+            player_id = directory.player_for(shim.identity.certificate.subject)
+            assert directory.subject_for(player_id) == shim.identity.certificate.subject
+
+
+class TestCheatTaxonomy:
+    def test_fifteen_built_in_cheats(self):
+        assert len(DOOM_CHEATS) == 15
+
+    def test_ten_relevant_five_client_only(self):
+        assert len(relevant_cheats()) == 10
+        client_only = [c for c in DOOM_CHEATS if not c.relevant]
+        assert len(client_only) == 5
+        assert all(c.injector is None for c in client_only)
+
+    def test_client_only_cheat_cannot_be_injected(self, lan_session):
+        injector = CheatInjector(lan_session)
+        automap = next(c for c in DOOM_CHEATS if c.code == "IDBEHOLDA")
+        with pytest.raises(ValueError):
+            injector.run(automap)
+
+
+class TestCheatPrevention:
+    """Every relevant built-in cheat must be prevented, within the
+    paper's 34 ms LAN bound (§7.2.2)."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        session = GameSession(n_peers=4, profile=LAN_1GBPS, n_players=4, seed=7)
+        session.setup()
+        injector = CheatInjector(session)
+        return session, injector.run_all_relevant()
+
+    def test_all_relevant_cheats_prevented(self, results):
+        _, outcomes = results
+        assert len(outcomes) == 10
+        failed = [r.cheat.code for r in outcomes if not r.prevented]
+        assert failed == []
+
+    def test_prevention_latency_within_lan_bound(self, results):
+        _, outcomes = results
+        for outcome in outcomes:
+            assert outcome.prevention_latency_ms is not None
+            assert outcome.prevention_latency_ms < 34.0, outcome.cheat.code
+
+    def test_cheats_left_no_state_damage(self, results):
+        session, _ = results
+        state = session.chain.peers[0].ledger.state
+        cheater = session.shims[0].player
+        # Ammo untouched, no weapons gained, no power-ups active.
+        assert state.get(asset_key(cheater, AssetId.AMMUNITION)) == 50
+        weapon = state.get(asset_key(cheater, AssetId.WEAPON))
+        assert set(weapon["owned"]) == {0, 2}
+        assert state.get(asset_key(cheater, AssetId.RADIATION_SUIT)) == 0.0
+        assert state.get(asset_key(cheater, AssetId.BERSERK)) == 0.0
+
+    def test_ledgers_stay_consistent(self, results):
+        session, _ = results
+        assert session.ledgers_agree()
+
+
+class TestProtocolCheats:
+    def test_replay_attack_prevented(self):
+        session = GameSession(n_peers=4, profile=LAN_1GBPS, n_players=1, seed=9)
+        session.setup()
+        injector = CheatInjector(session)
+        replay = next(c for c in PROTOCOL_CHEATS if c.code == "REPLAY")
+        outcome = injector.run(replay)
+        assert outcome.prevented
+        assert outcome.validation_code == TxValidationCode.DUPLICATE_NONCE
+
+    def test_spoofing_prevented(self):
+        session = GameSession(n_peers=4, profile=LAN_1GBPS, n_players=1, seed=10)
+        session.setup()
+        injector = CheatInjector(session)
+        spoof = next(c for c in PROTOCOL_CHEATS if c.code == "SPOOF")
+        outcome = injector.run(spoof)
+        assert outcome.prevented
+        assert outcome.validation_code == TxValidationCode.BAD_SIGNATURE

@@ -1,0 +1,140 @@
+"""Tests for the Table 1 constraint-specification language."""
+
+import pytest
+
+from repro.core import GameSpec, SpecError, doom_spec, parse_spec
+from repro.core.spec import ADDITIVE, MULTIPLICATIVE, PowerSpec
+
+MINIMAL = """
+<GameSpec name="Mini">
+  <Assets>
+    <Asset aId="1" value="100" name="Health">
+      <power pwId="0" change="+" factor="-10" />
+      <power pwId="1" change="x" factor="2" />
+    </Asset>
+  </Assets>
+  <Players>
+    <player pId="1">Player 1</player>
+    <player pId="2">Player 2</player>
+  </Players>
+  <Events>
+    <Event eId="1" name="Hit">
+      <affects pId="*" aId="1" pwId="0" />
+    </Event>
+    <Event eId="2" name="Boost">
+      <affects pId="self" aId="1" pwId="1" />
+    </Event>
+  </Events>
+</GameSpec>
+"""
+
+
+class TestParsing:
+    def test_minimal_spec_parses(self):
+        spec = parse_spec(MINIMAL)
+        assert spec.name == "Mini"
+        assert len(spec.assets) == 1
+        assert len(spec.players) == 2
+        assert len(spec.events) == 2
+
+    def test_power_modes(self):
+        spec = parse_spec(MINIMAL)
+        health = spec.asset_by_name("Health")
+        assert health.power(0).change == ADDITIVE
+        assert health.power(0).factor == -10
+        assert health.power(1).change == MULTIPLICATIVE
+
+    def test_power_apply(self):
+        assert PowerSpec(0, ADDITIVE, -10).apply(100) == 90
+        assert PowerSpec(1, MULTIPLICATIVE, 2).apply(100) == 200
+
+    def test_affects_pid_variants(self):
+        spec = parse_spec(MINIMAL)
+        hit = spec.event_by_name("Hit")
+        boost = spec.event_by_name("Boost")
+        assert hit.affects[0].pid == "*"
+        assert boost.affects[0].pid == "self"
+
+    def test_unicode_multiplication_sign_accepted(self):
+        xml = MINIMAL.replace('change="x"', 'change="×"')
+        spec = parse_spec(xml)
+        assert spec.asset_by_name("Health").power(1).change == MULTIPLICATIVE
+
+    def test_lookup_errors(self):
+        spec = parse_spec(MINIMAL)
+        with pytest.raises(SpecError):
+            spec.asset_by_name("Mana")
+        with pytest.raises(SpecError):
+            spec.event_by_name("Jump")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "mutation,why",
+        [
+            (lambda s: s.replace('value="100"', 'value="-5"'), "negative default"),
+            (lambda s: s.replace('change="+"', 'change="?"'), "bad change"),
+            (lambda s: s.replace('aId="1" pwId="0"', 'aId="9" pwId="0"'), "unknown asset"),
+            (lambda s: s.replace('pId="*" aId="1" pwId="0"', 'pId="*" aId="1" pwId="7"'),
+             "unknown power"),
+            (lambda s: s.replace('eId="1"', 'eId="0"'), "eId below 1"),
+            (lambda s: s.replace('<player pId="2">Player 2</player>',
+                                 '<player pId="99">P</player>'), "pId above MaxP"),
+            (lambda s: s.replace('value="100"', 'value="abc"'), "non-numeric value"),
+            (lambda s: s.replace("<Assets>", "<Resources>").replace("</Assets>", "</Resources>"),
+             "missing Assets section"),
+        ],
+    )
+    def test_malformed_specs_rejected(self, mutation, why):
+        with pytest.raises(SpecError):
+            parse_spec(mutation(MINIMAL))
+
+    def test_duplicate_asset_id_rejected(self):
+        xml = MINIMAL.replace(
+            "</Assets>",
+            '<Asset aId="1" value="0" name="Dup" /></Assets>',
+        )
+        with pytest.raises(SpecError):
+            parse_spec(xml)
+
+    def test_duplicate_event_id_rejected(self):
+        xml = MINIMAL.replace(
+            "</Events>",
+            '<Event eId="1" name="Dup" /></Events>',
+        )
+        with pytest.raises(SpecError):
+            parse_spec(xml)
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(SpecError):
+            parse_spec("<GameSpec><Assets>")
+
+    def test_fixed_pid_must_reference_player(self):
+        xml = MINIMAL.replace('pId="*"', 'pId="7"')
+        with pytest.raises(SpecError):
+            parse_spec(xml)
+
+
+class TestDoomSpec:
+    def test_doom_spec_parses(self):
+        spec = doom_spec()
+        assert spec.name == "Doom"
+
+    def test_nine_assets_eleven_events_four_players(self):
+        spec = doom_spec()
+        assert len(spec.assets) == 9
+        assert len(spec.events) == 11
+        assert len(spec.players) == 4
+
+    def test_fig1_health_powers(self):
+        # Fig. 1's Health asset declares powers 0 (damage) and 2 (heal).
+        spec = doom_spec()
+        health = spec.asset_by_name("Health")
+        assert health.power(0).factor < 0
+        assert health.power(2).factor > 0
+
+    def test_shoot_event_affects_ammunition(self):
+        spec = doom_spec()
+        shoot = spec.event_by_name("Shoot")
+        ammo = spec.asset_by_name("Ammunition")
+        assert any(a.aid == ammo.aid for a in shoot.affects)

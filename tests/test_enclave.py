@@ -1,0 +1,127 @@
+"""Tests for the secure-enclave model (overhead + rollback protection)."""
+
+import dataclasses
+
+import pytest
+
+from repro.blockchain import FabricConfig
+from repro.enclave import (
+    CRYPTO_MS_PER_EVENT,
+    DEFAULT_OVERHEAD,
+    EnclaveError,
+    RollbackError,
+    SecureEnclave,
+    with_enclave,
+)
+
+
+class TestOverheadModel:
+    def test_costs_scaled_by_overhead(self):
+        base = FabricConfig()
+        enclaved = with_enclave(base, overhead=0.2, crypto_ms=0.0)
+        assert enclaved.exec_ms_per_tx == pytest.approx(base.exec_ms_per_tx * 1.2)
+        assert enclaved.vote_verify_ms == pytest.approx(base.vote_verify_ms * 1.2)
+        assert enclaved.sync_verify_ms == pytest.approx(base.sync_verify_ms * 1.2)
+
+    def test_crypto_cost_added_per_tx(self):
+        base = FabricConfig()
+        enclaved = with_enclave(base, overhead=0.0, crypto_ms=1.0)
+        assert enclaved.exec_ms_per_tx == pytest.approx(base.exec_ms_per_tx + 1.0)
+
+    def test_default_overhead_in_cited_range(self):
+        # The paper cites 10-20% enclave overhead (§7.2.3).
+        assert 0.10 <= DEFAULT_OVERHEAD <= 0.20
+        assert CRYPTO_MS_PER_EVENT <= 1.0
+
+    def test_non_compute_parameters_unchanged(self):
+        base = FabricConfig(max_block_txs=5, mutually_exclusive_blocks=True)
+        enclaved = with_enclave(base)
+        assert enclaved.max_block_txs == 5
+        assert enclaved.mutually_exclusive_blocks is True
+        assert enclaved.tx_bytes == base.tx_bytes
+
+    def test_invalid_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            with_enclave(FabricConfig(), overhead=1.5)
+
+
+class TestSealedState:
+    def test_seal_unseal_roundtrip(self):
+        enclave = SecureEnclave("peer0")
+        blob = enclave.seal({"health": 100})
+        assert enclave.unseal(blob) == {"health": 100}
+
+    def test_counter_monotonic(self):
+        enclave = SecureEnclave("peer0")
+        b1 = enclave.seal({"v": 1})
+        b2 = enclave.seal({"v": 2})
+        assert b2.counter == b1.counter + 1
+
+    def test_rollback_attack_detected(self):
+        """Presenting stale sealed state (the [69, 76] attack the paper
+        cites) must raise."""
+        enclave = SecureEnclave("peer0")
+        old = enclave.seal({"ammo": 50})
+        enclave.seal({"ammo": 10})  # newer state exists
+        with pytest.raises(RollbackError):
+            enclave.unseal(old)
+
+    def test_tampered_blob_detected(self):
+        enclave = SecureEnclave("peer0")
+        blob = enclave.seal({"ammo": 50})
+        forged = dataclasses.replace(blob, ciphertext='{"ammo": 400}')
+        with pytest.raises(EnclaveError):
+            enclave.unseal(forged)
+
+    def test_counter_forgery_detected(self):
+        enclave = SecureEnclave("peer0")
+        old = enclave.seal({"ammo": 50})
+        enclave.seal({"ammo": 10})
+        bumped = dataclasses.replace(old, counter=99)
+        with pytest.raises(EnclaveError):
+            enclave.unseal(bumped)
+
+    def test_foreign_enclave_cannot_unseal(self):
+        blob = SecureEnclave("peer0").seal({"x": 1})
+        with pytest.raises(EnclaveError):
+            SecureEnclave("peer1").unseal(blob)
+
+    def test_attestation_depends_on_measurement(self):
+        a = SecureEnclave("peer0", measurement="contract-v1")
+        b = SecureEnclave("peer0", measurement="contract-v2")
+        assert a.attest() != b.attest()
+        assert a.attest() == SecureEnclave("peer0", measurement="contract-v1").attest()
+
+
+class TestEnclavedPipeline:
+    def test_enclave_latency_within_cited_bound(self):
+        """Running the same workload with enclave costs must stay within
+        ~10-20% + crypto of the plain latency (the paper's argument that
+        enclaves keep the system real-time, §7.2.3)."""
+        import sys
+
+        sys.path.insert(0, "tests")
+        from conftest import CounterContract
+
+        from repro.blockchain import BlockchainNetwork
+        from repro.simnet import LAN_1GBPS
+
+        def avg_latency(config):
+            chain = BlockchainNetwork(n_peers=4, profile=LAN_1GBPS, config=config)
+            chain.install_contract(CounterContract)
+            # Poll continuously: the client tick would otherwise quantise
+            # away the small enclave overhead on a fast LAN pipeline.
+            client = chain.create_client("c0", poll_interval_ms=1.0)
+            latencies = []
+            client.invoke("counter", "init", ("m",), ("ctr/m",),
+                          on_complete=lambda r, l: latencies.append(l))
+            chain.run_until_idle()
+            for i in range(5):
+                client.invoke("counter", "add", ("m", 1), ("ctr/m",),
+                              on_complete=lambda r, l: latencies.append(l))
+                chain.run_until_idle()
+            return sum(latencies) / len(latencies)
+
+        plain = avg_latency(FabricConfig())
+        enclaved = avg_latency(with_enclave(FabricConfig()))
+        assert plain < enclaved < plain * 1.35 + CRYPTO_MS_PER_EVENT * 2

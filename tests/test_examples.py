@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs cleanly end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_directory_has_at_least_three():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_prevention():
+    script = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=180
+    )
+    assert "PREVENTED" in result.stdout

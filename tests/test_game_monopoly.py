@@ -1,0 +1,120 @@
+"""Tests for the Monopoly case-study rules."""
+
+import pytest
+
+from repro.game import (
+    BOARD_SIZE,
+    STANDARD_PROPERTIES,
+    MonopolyError,
+    MonopolyRules,
+    initial_player,
+)
+
+
+class TestBoard:
+    def test_board_has_40_squares(self):
+        assert BOARD_SIZE == 40
+        assert all(0 <= sq < BOARD_SIZE for sq in STANDARD_PROPERTIES)
+
+    def test_22_streets_in_8_color_groups(self):
+        assert len(STANDARD_PROPERTIES) == 22
+        assert len({p.color for p in STANDARD_PROPERTIES.values()}) == 8
+
+    def test_boardwalk_most_expensive(self):
+        top = max(STANDARD_PROPERTIES.values(), key=lambda p: p.price)
+        assert top.name == "Boardwalk"
+
+
+class TestMovement:
+    def test_valid_roll_sums(self):
+        assert MonopolyRules.validate_roll((3, 4)) == 7
+
+    @pytest.mark.parametrize("dice", [(0, 4), (7, 1), (3, -2)])
+    def test_impossible_rolls_rejected(self, dice):
+        with pytest.raises(MonopolyError):
+            MonopolyRules.validate_roll(dice)
+
+    def test_move_advances(self):
+        player = initial_player()
+        moved = MonopolyRules.move(player, 7)
+        assert moved["location"] == 7
+        assert moved["currency"] == player["currency"]
+
+    def test_passing_go_pays_salary(self):
+        player = initial_player()
+        player["location"] = 38
+        moved = MonopolyRules.move(player, 5)
+        assert moved["location"] == 3
+        assert moved["currency"] == player["currency"] + 200
+
+    @pytest.mark.parametrize("steps", [1, 13, 0])
+    def test_move_bounds(self, steps):
+        with pytest.raises(MonopolyError):
+            MonopolyRules.move(initial_player(), steps)
+
+
+class TestPurchases:
+    def test_purchase_on_square(self):
+        player = initial_player()
+        player["location"] = 39  # Boardwalk
+        bought = MonopolyRules.validate_purchase(
+            player, STANDARD_PROPERTIES[39], owner=None
+        )
+        assert bought["currency"] == 1100
+        assert 39 in bought["assets"]
+
+    def test_purchase_not_on_square_rejected(self):
+        player = initial_player()
+        with pytest.raises(MonopolyError):
+            MonopolyRules.validate_purchase(player, STANDARD_PROPERTIES[39], None)
+
+    def test_purchase_owned_rejected(self):
+        player = initial_player()
+        player["location"] = 39
+        with pytest.raises(MonopolyError):
+            MonopolyRules.validate_purchase(player, STANDARD_PROPERTIES[39], "p2")
+
+    def test_purchase_unaffordable_rejected(self):
+        player = initial_player()
+        player["location"] = 39
+        player["currency"] = 100
+        with pytest.raises(MonopolyError):
+            MonopolyRules.validate_purchase(player, STANDARD_PROPERTIES[39], None)
+
+    def test_purchase_non_property_rejected(self):
+        player = initial_player()
+        with pytest.raises(MonopolyError):
+            MonopolyRules.validate_purchase(player, None, None)
+
+
+class TestRentAndTransfers:
+    def test_rent_due_on_visit(self):
+        visitor = initial_player()
+        visitor["location"] = 39
+        assert MonopolyRules.rent_due(STANDARD_PROPERTIES[39], "p2", visitor) == 50
+
+    def test_rent_capped_by_funds(self):
+        visitor = initial_player()
+        visitor["location"] = 39
+        visitor["currency"] = 20
+        assert MonopolyRules.rent_due(STANDARD_PROPERTIES[39], "p2", visitor) == 20
+
+    def test_rent_elsewhere_rejected(self):
+        visitor = initial_player()
+        with pytest.raises(MonopolyError):
+            MonopolyRules.rent_due(STANDARD_PROPERTIES[39], "p2", visitor)
+
+    def test_transfer_moves_currency(self):
+        a, b = initial_player(), initial_player()
+        new_a, new_b = MonopolyRules.transfer(a, b, 300)
+        assert new_a["currency"] == 1200 and new_b["currency"] == 1800
+
+    def test_transfer_insufficient_rejected(self):
+        a, b = initial_player(), initial_player()
+        with pytest.raises(MonopolyError):
+            MonopolyRules.transfer(a, b, 2000)
+
+    def test_negative_transfer_rejected(self):
+        a, b = initial_player(), initial_player()
+        with pytest.raises(MonopolyError):
+            MonopolyRules.transfer(a, b, -5)

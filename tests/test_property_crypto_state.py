@@ -1,0 +1,112 @@
+"""Property-based tests: crypto, world state and the ledger."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchain import (
+    Version,
+    WorldState,
+    canonical_digest,
+    generate_keypair,
+    merkle_root,
+    sha256_hex,
+)
+
+keys = st.text(string.ascii_lowercase + "/", min_size=1, max_size=12)
+values = st.one_of(
+    st.integers(-10**9, 10**9),
+    st.text(max_size=20),
+    st.lists(st.integers(-100, 100), max_size=5),
+)
+
+
+class TestHashProperties:
+    @given(st.binary(max_size=256))
+    def test_sha256_deterministic(self, data):
+        assert sha256_hex(data) == sha256_hex(data)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_sha256_injective_in_practice(self, a, b):
+        if a != b:
+            assert sha256_hex(a) != sha256_hex(b)
+
+    @given(st.lists(st.text(max_size=16), max_size=16))
+    def test_merkle_deterministic(self, leaves):
+        assert merkle_root(leaves) == merkle_root(list(leaves))
+
+    @given(st.lists(st.text(max_size=8), min_size=2, max_size=10), st.data())
+    def test_merkle_detects_any_single_mutation(self, leaves, data):
+        index = data.draw(st.integers(0, len(leaves) - 1))
+        replacement = data.draw(st.text(max_size=8))
+        if replacement == leaves[index]:
+            return
+        mutated = list(leaves)
+        mutated[index] = replacement
+        assert merkle_root(mutated) != merkle_root(leaves)
+
+    @given(
+        st.dictionaries(st.text(max_size=6), st.integers(-100, 100), max_size=6)
+    )
+    def test_canonical_digest_order_invariant(self, mapping):
+        reversed_items = dict(reversed(list(mapping.items())))
+        assert canonical_digest(mapping) == canonical_digest(reversed_items)
+
+
+class TestSignatureProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(max_size=64), st.text(max_size=64))
+    def test_sign_verify_and_tamper(self, message, other):
+        kp = generate_keypair("prop-test")
+        signature = kp.sign(message)
+        assert kp.verify(message, signature)
+        if other != message:
+            assert not kp.verify(other, signature)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**64))
+    def test_distinct_seeds_distinct_keys(self, seed):
+        a = generate_keypair(f"a{seed}")
+        b = generate_keypair(f"b{seed}")
+        assert a.public.n != b.public.n
+
+
+class TestWorldStateProperties:
+    @given(st.lists(st.tuples(keys, values), max_size=30))
+    def test_last_write_wins(self, writes):
+        state = WorldState()
+        expected = {}
+        for i, (key, value) in enumerate(writes):
+            state.put(key, value, Version(i + 1, 0))
+            expected[key] = value
+        for key, value in expected.items():
+            assert state.get(key) == value
+        assert len(state) == len(expected)
+
+    @given(st.lists(st.tuples(keys, values), max_size=20))
+    def test_state_hash_is_content_function(self, writes):
+        """Two states built by different write orders but identical final
+        content (values and versions) hash identically."""
+        a, b = WorldState(), WorldState()
+        final = {}
+        for i, (key, value) in enumerate(writes):
+            final[key] = (value, Version(i + 1, 0))
+        for key, (value, version) in final.items():
+            a.put(key, value, version)
+        for key, (value, version) in reversed(list(final.items())):
+            b.put(key, value, version)
+        assert a.state_hash() == b.state_hash()
+
+    @given(st.lists(st.tuples(keys, values), min_size=1, max_size=20))
+    def test_copy_isolated(self, writes):
+        state = WorldState()
+        for i, (key, value) in enumerate(writes):
+            state.put(key, value, Version(i + 1, 0))
+        clone = state.copy()
+        clone.put("clone-only", 1, Version(99, 0))
+        first_key = writes[0][0]
+        clone.put(first_key, "mutated", Version(99, 1))
+        assert "clone-only" not in state
+        assert state.get(first_key) != "mutated" or writes[0][1] == "mutated"
+        assert state.state_hash() != clone.state_hash()

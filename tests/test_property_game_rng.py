@@ -1,0 +1,197 @@
+"""Property-based tests: Doom rules, spec/codegen, RNG and the enclave."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchain import FabricConfig
+from repro.core import generate_contract, parse_spec
+from repro.enclave import SecureEnclave, with_enclave
+from repro.game import DoomMap, DoomRules, RuleViolation, WeaponId
+from repro.rng import Participant, distributed_random
+
+
+class TestDoomRuleProperties:
+    @given(st.integers(0, 200), st.integers(0, 200), st.integers(0, 500))
+    def test_damage_conserves_bounds(self, hp, armor, amount):
+        health, new_armor, _ = DoomRules.apply_damage(
+            {"hp": hp, "invuln_until": 0.0}, armor, amount, t_ms=0.0
+        )
+        assert 0 <= health["hp"] <= hp
+        assert 0 <= new_armor <= armor
+        # Armour soaks at most a third of the hit.
+        soaked = armor - new_armor
+        assert soaked <= amount // DoomRules.ARMOR_ABSORB
+        # Total absorbed never exceeds the damage dealt.
+        assert (hp - health["hp"]) + soaked <= amount
+
+    @given(st.integers(0, 400), st.integers(1, 100))
+    def test_shoot_never_negative(self, ammo, count):
+        weapon = {"current": WeaponId.PISTOL, "owned": [WeaponId.PISTOL]}
+        try:
+            remaining = DoomRules.validate_shoot(weapon, ammo, count)
+        except RuleViolation:
+            assert count > ammo
+        else:
+            assert remaining == ammo - count
+            assert remaining >= 0
+
+    @given(st.integers(0, 400), st.integers(0, 500))
+    def test_add_ammo_caps(self, ammo, amount):
+        assert 0 <= DoomRules.add_ammo(ammo, amount) <= 400
+
+    @given(
+        st.floats(0.0, 4096.0), st.floats(0.0, 4096.0),
+        st.floats(0.0, 4096.0), st.floats(0.0, 4096.0),
+        st.floats(0.1, 5000.0),
+    )
+    def test_move_validation_matches_speed_bound(self, x0, y0, x1, y1, dt):
+        game_map = DoomMap.default_map()
+        pos = {"x": x0, "y": y0, "t": 0.0}
+        dist = math.hypot(x1 - x0, y1 - y0)
+        allowed = DoomRules.MAX_SPEED_PER_MS * max(dt, DoomRules.TICK_MS)
+        try:
+            DoomRules.validate_move(pos, x1, y1, dt, game_map)
+        except RuleViolation:
+            assert dist > allowed
+        else:
+            assert dist <= allowed + 1e-9
+
+
+class TestSpecCodegenProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 5),  # number of assets
+        st.integers(1, 4),  # number of events
+        st.data(),
+    )
+    def test_generated_contracts_apply_powers_exactly(self, n_assets, n_events, data):
+        """For any small random spec, the generated contract's handlers
+        apply exactly the specified power arithmetic (within bounds)."""
+        assets_xml, events_xml = [], []
+        factors = {}
+        for aid in range(1, n_assets + 1):
+            factor = data.draw(st.integers(-5, 5))
+            factors[aid] = factor
+            assets_xml.append(
+                f'<Asset aId="{aid}" value="100" name="A{aid}">'
+                f'<power pwId="0" change="+" factor="{factor}" /></Asset>'
+            )
+        for eid in range(1, n_events + 1):
+            target_aid = data.draw(st.integers(1, n_assets))
+            events_xml.append(
+                f'<Event eId="{eid}" name="E{eid}">'
+                f'<affects pId="self" aId="{target_aid}" pwId="0" /></Event>'
+            )
+        xml = (
+            '<GameSpec name="Prop"><Assets>' + "".join(assets_xml) + "</Assets>"
+            "<Players><player pId=\"1\">P</player></Players>"
+            "<Events>" + "".join(events_xml) + "</Events></GameSpec>"
+        )
+        spec = parse_spec(xml)
+        contract_cls = generate_contract(spec)
+
+        from conftest import ContractHarness
+
+        harness = ContractHarness(contract_cls())
+        harness.ok("addPlayer", creator="p")
+        harness.ok("startGame", creator="p")
+        expected = {aid: 100.0 for aid in factors}
+        for eid in range(1, n_events + 1):
+            event = spec.events[eid]
+            aid = event.affects[0].aid
+            new_value = expected[aid] + factors[aid]
+            code, _ = harness.call(f"E{eid}", creator="p")
+            if new_value < 0:
+                assert code == "CONTRACT_REJECTED"
+            else:
+                assert code == "VALID"
+                expected[aid] = new_value
+        for aid, value in expected.items():
+            assert harness.state.get(f"asset/p/{aid}") == value
+
+
+class TestRngProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 6), st.integers(0, 1000))
+    def test_any_single_seed_change_changes_output(self, n, seed):
+        base = [Participant(f"p{i}", seed=seed) for i in range(n)]
+        flipped = [
+            Participant(f"p{i}", seed=seed if i else seed + 1) for i in range(n)
+        ]
+        v1, _ = distributed_random(base)
+        v2, _ = distributed_random(flipped)
+        assert v1 != v2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 6), st.integers(0, 50), st.data())
+    def test_cheater_contribution_fully_excluded(self, n, seed, data):
+        honest = [Participant(f"p{i}", seed=seed) for i in range(n)]
+        bias = data.draw(st.integers(0, 2**32))
+        liar = Participant("liar", seed=seed, bias_value=bias)
+        with_liar, cheaters = distributed_random(honest + [liar])
+        without, _ = distributed_random(
+            [Participant(f"p{i}", seed=seed) for i in range(n)]
+        )
+        assert cheaters == ["liar"]
+        assert with_liar == without
+
+
+class TestEnclaveProperties:
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 2.0))
+    def test_overhead_scaling_monotone(self, overhead, crypto):
+        base = FabricConfig()
+        scaled = with_enclave(base, overhead=overhead, crypto_ms=crypto)
+        assert scaled.exec_ms_per_tx >= base.exec_ms_per_tx
+        assert scaled.vote_verify_ms >= base.vote_verify_ms
+        assert scaled.commit_ms_per_tx >= base.commit_ms_per_tx
+
+    @given(
+        st.lists(
+            st.dictionaries(st.text(max_size=5), st.integers(-100, 100), max_size=4),
+            min_size=1, max_size=8,
+        )
+    )
+    def test_only_latest_seal_unseals(self, states):
+        enclave = SecureEnclave("prop")
+        blobs = [enclave.seal(state) for state in states]
+        assert enclave.unseal(blobs[-1]) == states[-1]
+        for stale in blobs[:-1]:
+            import pytest
+
+            from repro.enclave import RollbackError
+
+            with pytest.raises(RollbackError):
+                enclave.unseal(stale)
+
+
+class TestDemoFormatProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(0, 3))
+    def test_save_load_roundtrip_any_session(self, duration_s, seed):
+        import io
+
+        from repro.game import generate_session, load_demo, save_demo
+
+        demo = generate_session(
+            f"prop{seed}", duration_ms=max(1.0, duration_s * 10.0), seed=seed
+        )
+        buffer = io.StringIO()
+        save_demo(demo, buffer)
+        buffer.seek(0)
+        loaded = load_demo(buffer)
+        assert len(loaded) == len(demo)
+        assert [e.to_dict() for e in loaded] == [e.to_dict() for e in demo]
+        assert loaded.game_map is not None
+        assert len(loaded.game_map.items) == len(demo.game_map.items)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([45, 60, 90, 144]))
+    def test_scaled_tickrate_hits_target_rate(self, tickrate):
+        from repro.game import Category, generate_session, scale_tickrate
+
+        demo = generate_session("scaleprop", duration_ms=90_000.0, seed=4)
+        scaled = scale_tickrate(demo, tickrate)
+        peak = scaled.max_frequency(Category.LOCATION)
+        assert tickrate * 0.85 <= peak <= tickrate * 1.1

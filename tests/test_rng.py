@@ -1,0 +1,124 @@
+"""Tests for the commit-reveal distributed RNG."""
+
+import pytest
+
+from repro.rng import (
+    CommitRevealRound,
+    DistributedDice,
+    Participant,
+    RngError,
+    distributed_random,
+)
+
+
+class TestCommitReveal:
+    def test_honest_round_produces_value(self):
+        participants = [Participant(f"p{i}", seed=1) for i in range(4)]
+        value, cheaters = distributed_random(participants)
+        assert cheaters == []
+        assert isinstance(value, int)
+
+    def test_deterministic_given_seeds(self):
+        a, _ = distributed_random([Participant("p0", seed=1), Participant("p1", seed=1)])
+        b, _ = distributed_random([Participant("p0", seed=1), Participant("p1", seed=1)])
+        assert a == b
+
+    def test_single_honest_participant_randomises_output(self):
+        """XOR combination: changing one participant's contribution
+        changes the result — no coalition of the others controls it."""
+        base = [Participant("p0", seed=1), Participant("p1", seed=1)]
+        alt = [Participant("p0", seed=1), Participant("p1", seed=2)]
+        v1, _ = distributed_random(base)
+        v2, _ = distributed_random(alt)
+        assert v1 != v2
+
+    def test_mis_reveal_detected_and_excluded(self):
+        honest = [Participant(f"p{i}", seed=1) for i in range(3)]
+        liar = Participant("liar", seed=1, bias_value=12345)
+        value_with_liar, cheaters = distributed_random(honest + [liar])
+        assert cheaters == ["liar"]
+        value_without, _ = distributed_random(honest)
+        assert value_with_liar == value_without  # liar contributed nothing
+
+    def test_modulus_applied(self):
+        participants = [Participant("p0", seed=3)]
+        value, _ = distributed_random(participants, modulus=36)
+        assert 0 <= value < 36
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(RngError):
+            distributed_random([])
+
+    def test_duplicate_commit_rejected(self):
+        round_ = CommitRevealRound()
+        p = Participant("p0", seed=1)
+        round_.submit_commit(p.commit())
+        with pytest.raises(RngError):
+            round_.submit_commit(p.commit())
+
+    def test_commit_after_close_rejected(self):
+        round_ = CommitRevealRound()
+        round_.submit_commit(Participant("p0", seed=1).commit())
+        round_.close_commits()
+        with pytest.raises(RngError):
+            round_.submit_commit(Participant("p1", seed=1).commit())
+
+    def test_combine_before_close_rejected(self):
+        round_ = CommitRevealRound()
+        round_.submit_commit(Participant("p0", seed=1).commit())
+        with pytest.raises(RngError):
+            round_.combine()
+
+    def test_withheld_reveal_excluded(self):
+        round_ = CommitRevealRound()
+        honest = Participant("honest", seed=1)
+        silent = Participant("silent", seed=1)
+        c1, c2 = honest.commit(), silent.commit()
+        round_.submit_commit(c1)
+        round_.submit_commit(c2)
+        round_.close_commits()
+        honest.reveal(c1)  # silent never reveals
+        round_.combine()
+        assert round_.cheaters == ["silent"]
+
+    def test_min_honest_enforced(self):
+        round_ = CommitRevealRound()
+        silent = Participant("silent", seed=1)
+        c = silent.commit()
+        round_.submit_commit(c)
+        round_.close_commits()
+        with pytest.raises(RngError):
+            round_.combine(min_honest=1)
+
+
+class TestDistributedDice:
+    def test_rolls_in_range(self):
+        dice = DistributedDice(["a", "b", "c"], seed=1)
+        for _ in range(100):
+            d1, d2 = dice.roll()
+            assert 1 <= d1 <= 6 and 1 <= d2 <= 6
+
+    def test_rolls_vary(self):
+        dice = DistributedDice(["a", "b"], seed=1)
+        rolls = {dice.roll() for _ in range(30)}
+        assert len(rolls) > 5
+
+    def test_rolls_roughly_uniform(self):
+        dice = DistributedDice(["a", "b"], seed=2)
+        counts = [0] * 13
+        n = 1200
+        for _ in range(n):
+            d1, d2 = dice.roll()
+            counts[d1 + d2] += 1
+        # Seven is the most likely sum for two dice (6/36).
+        assert counts[7] == max(counts)
+        assert abs(counts[7] / n - 6 / 36) < 0.05
+
+    def test_deterministic_sequence(self):
+        a = DistributedDice(["a", "b"], seed=3)
+        b = DistributedDice(["a", "b"], seed=3)
+        assert [a.roll() for _ in range(5)] == [b.roll() for _ in range(5)]
+
+    def test_needs_players(self):
+        with pytest.raises(RngError):
+            DistributedDice([])

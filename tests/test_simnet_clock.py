@@ -1,0 +1,140 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.simnet import Scheduler, SimulationError
+
+
+def test_starts_at_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_call_after_advances_clock():
+    sched = Scheduler()
+    fired = []
+    sched.call_after(10.0, fired.append, "a")
+    sched.run()
+    assert fired == ["a"]
+    assert sched.now == 10.0
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.call_after(30.0, fired.append, 3)
+    sched.call_after(10.0, fired.append, 1)
+    sched.call_after(20.0, fired.append, 2)
+    sched.run()
+    assert fired == [1, 2, 3]
+
+
+def test_same_time_events_fire_fifo():
+    sched = Scheduler()
+    fired = []
+    for i in range(10):
+        sched.call_after(5.0, fired.append, i)
+    sched.run()
+    assert fired == list(range(10))
+
+
+def test_cancel_prevents_firing():
+    sched = Scheduler()
+    fired = []
+    timer = sched.call_after(5.0, fired.append, "x")
+    timer.cancel()
+    sched.run()
+    assert fired == []
+    assert timer.cancelled and not timer.fired
+
+
+def test_cancel_is_idempotent():
+    sched = Scheduler()
+    timer = sched.call_after(5.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    assert timer.cancelled
+
+
+def test_cannot_schedule_in_the_past():
+    sched = Scheduler()
+    sched.call_after(10.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Scheduler().call_after(-1.0, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sched = Scheduler()
+    fired = []
+    sched.call_after(10.0, fired.append, "early")
+    sched.call_after(100.0, fired.append, "late")
+    sched.run(until=50.0)
+    assert fired == ["early"]
+    assert sched.now == 50.0
+    sched.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    sched = Scheduler()
+    sched.run(until=42.0)
+    assert sched.now == 42.0
+
+
+def test_events_scheduled_during_run_are_processed():
+    sched = Scheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sched.call_after(1.0, chain, n + 1)
+
+    sched.call_after(1.0, chain, 0)
+    sched.run()
+    assert fired == [0, 1, 2, 3]
+    assert sched.now == 4.0
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Scheduler().step() is False
+
+
+def test_run_until_idle_backstop():
+    sched = Scheduler()
+
+    def forever():
+        sched.call_after(1.0, forever)
+
+    sched.call_after(1.0, forever)
+    with pytest.raises(SimulationError):
+        sched.run_until_idle(max_events=100)
+
+
+def test_pending_excludes_cancelled():
+    sched = Scheduler()
+    t1 = sched.call_after(1.0, lambda: None)
+    sched.call_after(2.0, lambda: None)
+    t1.cancel()
+    assert sched.pending == 1
+
+
+def test_events_processed_counter():
+    sched = Scheduler()
+    for _ in range(5):
+        sched.call_after(1.0, lambda: None)
+    sched.run()
+    assert sched.events_processed == 5
+
+
+def test_timer_active_lifecycle():
+    sched = Scheduler()
+    timer = sched.call_after(1.0, lambda: None)
+    assert timer.active
+    sched.run()
+    assert timer.fired and not timer.active

@@ -1,0 +1,100 @@
+"""Tests for the §7.1 Steam study substrate and methodology."""
+
+import pytest
+
+from repro.study import (
+    LATENCY_BINS,
+    STUDY_TITLES,
+    GameTracker,
+    SteamEcosystem,
+    SteamStudy,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return SteamStudy(seed=2018)
+
+
+class TestEcosystem:
+    def test_ten_titles(self):
+        assert len(STUDY_TITLES) == 10
+
+    def test_server_population_deterministic(self):
+        a = SteamEcosystem(seed=1).servers("Team Fortress 2")
+        b = SteamEcosystem(seed=1).servers("Team Fortress 2")
+        assert [s.latency_ms for s in a] == [s.latency_ms for s in b]
+
+    def test_unknown_title_rejected(self):
+        with pytest.raises(KeyError):
+            SteamEcosystem().title("Quake")
+
+    def test_bin_distribution_sums_to_one(self, study):
+        for title in STUDY_TITLES:
+            bins = study.ecosystem.bin_distribution(title.name)
+            assert sum(bins) == pytest.approx(1.0, abs=1e-9)
+            assert len(bins) == len(LATENCY_BINS)
+
+    def test_majority_of_servers_in_100_350ms(self, study):
+        """Paper take-away (4): the majority of available servers lie
+        within the 100-350 ms latency buckets."""
+        for title in STUDY_TITLES:
+            bins = study.ecosystem.bin_distribution(title.name)
+            assert sum(bins[2:5]) > 0.5
+
+    def test_few_low_latency_servers(self, study):
+        for title in STUDY_TITLES:
+            bins = study.ecosystem.bin_distribution(title.name)
+            assert sum(bins[:2]) < 0.2  # "not enough servers with <100ms"
+
+
+class TestTracker:
+    def test_top_rooms_sorted_and_capped(self, study):
+        tracker = study.tracker
+        rooms = tracker.top_rooms("Counter-Strike 1.6")
+        assert len(rooms) == 500
+        assert rooms == sorted(rooms, reverse=True)
+        assert rooms[0] == 32  # max participation = player cap
+
+    def test_average_participation_close_to_published(self, study):
+        for title in STUDY_TITLES:
+            measured = study.tracker.average_participation(title.name)
+            assert measured == pytest.approx(title.avg_players, rel=0.35, abs=1.2)
+
+
+class TestMethodology:
+    def test_table2_has_ten_rows(self, study):
+        rows = study.table2(sessions=3)
+        assert len(rows) == 10
+        assert {r.game for r in rows} == {t.name for t in STUDY_TITLES}
+
+    def test_measured_latency_close_to_published(self, study):
+        """The decreasing-latency walk must land near the published
+        average latency column (±10%)."""
+        published = {t.name: t for t in STUDY_TITLES}
+        for row in study.table2(sessions=3):
+            assert row.avg_latency_ms == pytest.approx(
+                published[row.game].playable_latency_ms, rel=0.10
+            )
+
+    def test_all_latencies_upward_of_230ms(self, study):
+        """Paper take-away (1)."""
+        rows = study.table2(sessions=3)
+        assert min(r.avg_latency_ms for r in rows) >= 225.0
+
+    def test_tickrate_take_away(self, study):
+        """Paper take-away (2): only 3 of 10 titles exceed tickrate 30."""
+        rows = study.table2(sessions=1)
+        assert sum(1 for r in rows if r.tickrate > 30) == 3
+
+    def test_participation_take_away(self, study):
+        """Paper take-away (3): ~8 average, 3 titles allow >32 players."""
+        t = study.takeaways(sessions=2)
+        assert 4.0 <= t["avg_participation"] <= 14.0
+        assert t["titles_above_32_players"] == 3
+
+    def test_measurement_walks_servers_in_decreasing_order(self, study):
+        row = study.measure_title("Team Fortress 2", sessions=1)
+        # Walking from the highest latency down, hundreds of unplayable
+        # servers precede the first playable one.
+        assert row.attempts > 10
