@@ -8,7 +8,6 @@ the full validation pipeline with and without the enclave cost model,
 at the paper's key peer counts.
 """
 
-import pytest
 
 from helpers import all_opts_fabric, measure_validation_latency
 from repro.analysis import AsciiTable

@@ -37,7 +37,7 @@ def lockstep_rounds_with_one_down(n_players: int) -> int:
         net.register(LockstepPlayer(f"lp{i}", regions[i % 3]))
         for i in range(n_players)
     ]
-    game = LockstepGame(players, rounds=5)
+    LockstepGame(players, rounds=5)
     TakedownAttack([players[-1].name]).apply(net)
     for player in players:
         player.start_round()

@@ -8,7 +8,7 @@ the synthetic Steam ecosystem and prints measured vs published rows.
 import pytest
 
 from repro.analysis import AsciiTable
-from repro.study import STUDY_TITLES, SteamStudy
+from repro.study import SteamStudy
 
 #: Table 2 as published (players avg/max, latency ms, tickrate).
 PAPER_ROWS = {

@@ -20,7 +20,6 @@ from repro.baselines import (
     LockstepGame,
     LockstepPlayer,
     MECHANISMS,
-    PAPER_TABLE3,
     PREVENTED,
     NOT_PREVENTED,
     matrix_lookup,

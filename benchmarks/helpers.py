@@ -10,11 +10,11 @@ loop per asset type, five asset types, implemented by
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.blockchain import FabricConfig
-from repro.core import DoomContract, GameSession, ShimConfig
-from repro.game import DoomMap, EventType, GameEvent, WeaponId
+from repro.core import GameSession, ShimConfig
+from repro.game import DoomMap, EventType, GameEvent
 from repro.simnet import INTERNET_US, LatencyProfile
 
 #: The three shim/platform configurations of Fig. 3c.

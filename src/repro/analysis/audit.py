@@ -12,7 +12,7 @@ histories.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..blockchain.ledger import Ledger
 from ..blockchain.transaction import TxValidationCode

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 __all__ = ["mean", "median", "percentile", "stddev", "histogram", "rate_per_second"]
 

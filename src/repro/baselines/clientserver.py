@@ -10,7 +10,7 @@ failure under DDoS (§2.2, §7.2.4(3)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..game.assets import AssetId

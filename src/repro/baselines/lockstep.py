@@ -17,7 +17,7 @@ there is no semantic validation — lockstep guarantees agreement on the
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..simnet.topology import Host

@@ -10,7 +10,7 @@ grow linearly with peer count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["FabricConfig"]
 

@@ -20,7 +20,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Sequence
 
 __all__ = [
     "sha256_hex",

@@ -10,8 +10,8 @@ MSP) validates presented certificates against trusted CA roots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from .crypto import KeyPair, PublicKey, canonical_digest, generate_keypair
 

@@ -16,12 +16,12 @@ mutually-exclusive-block optimisations measurable rather than asserted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from .block import Block, make_genesis_block
+from .block import Block
 from .state import Version, WorldState
-from .transaction import RWSet, Transaction, TxValidationCode
+from .transaction import RWSet, TxValidationCode
 
 __all__ = ["TxExecution", "Ledger", "LedgerError"]
 

@@ -6,8 +6,8 @@ and message identity (not encoding) is what the protocols care about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from .block import Block
 from .transaction import Transaction

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..simnet.latency import Region
 from ..simnet.topology import Host
 from .block import Block
 from .config import FabricConfig

@@ -18,7 +18,7 @@ of the room, so the honest-majority assumption must hold per shard.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 from ..simnet.latency import INTERNET_US, LatencyProfile
 from ..simnet.transport import Network

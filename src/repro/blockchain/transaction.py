@@ -11,11 +11,10 @@ accepted or rejected (a rejected asset update *is* a prevented cheat).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .crypto import canonical_digest
 from .identity import Certificate
-from .state import Version
 
 __all__ = [
     "TxValidationCode",

@@ -14,7 +14,7 @@ else's — player number.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..blockchain.identity import Certificate
 from ..rng import Participant, distributed_random

@@ -14,10 +14,10 @@ messages.  Its semantics are unit-tested against the live shim
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Optional
 
-from ..game.events import EventType, GameEvent, affected_assets
+from ..game.events import GameEvent, affected_assets
 from .shim import MERGEABLE_EVENTS
 
 __all__ = ["BatchingReport", "count_delays"]

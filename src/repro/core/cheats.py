@@ -20,12 +20,12 @@ transaction layer rather than as game events.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..blockchain.transaction import TxValidationCode
 from ..game.assets import AssetId
-from ..game.doom import DoomMap, DoomRules, MapItem, WeaponId
+from ..game.doom import DoomRules, MapItem, WeaponId
 from ..game.events import EventType, GameEvent
 from .session import GameSession
 from .shim import Shim

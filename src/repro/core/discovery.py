@@ -14,8 +14,8 @@ The prototype's discovery is "REST-ful … for ease of implementation"
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from ..blockchain.identity import Certificate
 from ..simnet.topology import Host

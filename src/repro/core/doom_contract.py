@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..blockchain.contracts import Contract, ContractError, InvocationContext
-from ..game.assets import ASSETS, AssetId, asset_key
+from ..game.assets import AssetId, asset_key
 from ..game.doom import DoomMap, DoomRules, RuleViolation, WEAPONS, initial_assets
 from ..game.events import EventType
 

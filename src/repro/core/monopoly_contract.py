@@ -10,11 +10,10 @@ non-repudiation property the case study demonstrates.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..blockchain.contracts import Contract, ContractError, InvocationContext
 from ..game.monopoly import (
-    BOARD_SIZE,
     STANDARD_PROPERTIES,
     MonopolyError,
     MonopolyRules,

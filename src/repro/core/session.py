@@ -9,8 +9,7 @@ end of the ephemeral session (§4.2.6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..blockchain.config import FabricConfig
 from ..blockchain.policy import MAJORITY

@@ -8,7 +8,7 @@ position, invisibility pack, radiation suit and berserk pack." (§6 i)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 __all__ = ["AssetId", "AssetDef", "ASSETS", "asset_key", "FREQUENT_ASSETS"]
 

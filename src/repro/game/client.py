@@ -12,12 +12,12 @@ authoritative value.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from .assets import ASSETS, AssetId
+from .assets import AssetId
 from .doom import DoomMap, DoomRules, RuleViolation, initial_assets
-from .events import EventType, GameEvent, affected_assets
+from .events import EventType, GameEvent
 
 __all__ = ["PredictionStats", "DoomClient"]
 

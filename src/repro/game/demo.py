@@ -11,8 +11,8 @@ the evaluation plots: per-category counts, per-second frequency series
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO
 
 from .doom import DoomMap, MapItem
 from .events import Category, GameEvent, event_category

@@ -12,7 +12,7 @@ categories: armor, health, location, shoot and weapon.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from .assets import AssetId
 

@@ -13,8 +13,8 @@ come from the distributed random-number generator in ``repro.rng``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 __all__ = [
     "MonopolyError",

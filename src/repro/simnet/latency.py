@@ -17,7 +17,7 @@ shape of the paper's Fig. 3c (see DESIGN.md §6).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 __all__ = [

@@ -10,7 +10,7 @@ deterministic and Swarm-style random placements.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .latency import Region
 

@@ -16,7 +16,7 @@ observation that event-validation latency grows with peer count
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from .clock import Scheduler

@@ -1,0 +1,153 @@
+"""Static analysis for smart contracts: determinism linting, read/write
+set inference and pre-ordering MVCC conflict prediction.
+
+The platform's core guarantee — every peer executes the same contract
+against the same state and reaches the same verdict (§4.2.2) — holds
+only for *deterministic* contracts, and its throughput behaviour
+(§6 opt. i) is fixed by *which keys* each handler touches.  This
+package checks both properties before a contract ever runs:
+
+* :func:`lint_contract` / :func:`lint_source` — AST determinism linter
+  (wall clocks, randomness, unordered iteration, I/O, cross-invocation
+  state, float accumulation).
+* :func:`infer_footprints` — per-handler read/write key patterns,
+  validated against the runtime ``StateView.rwset()`` ground truth by
+  the differential tests.
+* :func:`predict_conflicts` — which event pairs will MVCC-conflict when
+  batched into one block, before the ordering service ever sees them.
+* :func:`analyze_contract` / :func:`analyze_source` — everything at
+  once, as a :class:`ContractReport`; also behind the
+  ``python -m repro.staticcheck module:Class`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .conflicts import ConflictLevel, ConflictMatrix, predict_conflicts
+from .linter import StaticCheckError, gate, lint_contract, lint_source
+from .rules import Diagnostic, SEVERITY_ERROR, SEVERITY_WARNING
+from .rwset import Footprint, infer_footprints
+from .symbols import KeyPattern, Sym, SymKind, covers_key, make_pattern, may_collide
+
+__all__ = [
+    "ConflictLevel",
+    "ConflictMatrix",
+    "ContractReport",
+    "Diagnostic",
+    "Footprint",
+    "KeyPattern",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "StaticCheckError",
+    "Sym",
+    "SymKind",
+    "analyze_contract",
+    "analyze_source",
+    "covers_key",
+    "gate",
+    "infer_footprints",
+    "lint_contract",
+    "lint_source",
+    "make_pattern",
+    "may_collide",
+    "predict_conflicts",
+]
+
+
+@dataclass
+class ContractReport:
+    """Combined static-analysis result for one contract."""
+
+    contract: str
+    diagnostics: List[Diagnostic]
+    footprints: Dict[str, Footprint]
+    conflicts: ConflictMatrix
+    strict: bool = True
+
+    def failures(self) -> List[Diagnostic]:
+        return gate(self.diagnostics, strict=self.strict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures()
+
+    def to_json(self) -> dict:
+        return {
+            "contract": self.contract,
+            "strict": self.strict,
+            "ok": self.ok,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "footprints": {
+                name: fp.to_json() for name, fp in sorted(self.footprints.items())
+            },
+            "conflicts": self.conflicts.to_json(),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-section report."""
+        from ..analysis.report import AsciiTable
+
+        lines: List[str] = [f"Static analysis: {self.contract}"]
+        lines.append("=" * len(lines[0]))
+        if self.diagnostics:
+            lines.append("")
+            lines.append(f"Determinism diagnostics ({len(self.diagnostics)}):")
+            for diag in self.diagnostics:
+                lines.append(f"  {diag}")
+        else:
+            lines.append("")
+            lines.append("Determinism: clean (no diagnostics)")
+
+        table = AsciiTable(
+            ["event", "reads", "writes"], title="Inferred per-event KVS footprints"
+        )
+        for name, fp in sorted(self.footprints.items()):
+            table.row(
+                name,
+                " ".join(sorted(str(p) for p in fp.reads)),
+                " ".join(sorted(str(p) for p in fp.writes)),
+            )
+        lines.append("")
+        lines.append(table.render())
+        lines.append("")
+        lines.append(self.conflicts.to_table().render())
+        lines.append("")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(f"Verdict: {verdict} (strict={self.strict})")
+        return "\n".join(lines)
+
+
+def _analyze(
+    lint_diags: List[Diagnostic],
+    footprints: Dict[str, Footprint],
+    name: str,
+    strict: bool,
+) -> ContractReport:
+    return ContractReport(
+        contract=name,
+        diagnostics=lint_diags,
+        footprints=footprints,
+        conflicts=predict_conflicts(footprints),
+        strict=strict,
+    )
+
+
+def analyze_contract(cls: type, strict: bool = True) -> ContractReport:
+    """Run the full analysis suite over a live contract class."""
+    return _analyze(
+        lint_contract(cls), infer_footprints(cls), cls.__name__, strict
+    )
+
+
+def analyze_source(
+    source: str, class_name: Optional[str] = None, strict: bool = True
+) -> ContractReport:
+    """Run the full analysis suite over contract source text."""
+    return _analyze(
+        lint_source(source),
+        infer_footprints(source, class_name=class_name),
+        class_name or "<generated>",
+        strict,
+    )

@@ -1,0 +1,77 @@
+"""CLI for the contract static analyzer.
+
+Usage::
+
+    python -m repro.staticcheck repro.core.doom_contract:DoomContract
+    python -m repro.staticcheck repro.core.monopoly_contract:MonopolyContract --json
+    python -m repro.staticcheck --no-strict my.module:MyContract
+
+Exit status 0 when the contract passes the determinism gate (strict
+mode fails on warnings too), 1 when hazards were found, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+
+from . import analyze_contract
+
+
+def _usage_error(message: str) -> SystemExit:
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load(target: str):
+    if ":" not in target:
+        raise _usage_error(
+            f"target must look like package.module:ClassName, got {target!r}"
+        )
+    module_name, _, class_name = target.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as err:
+        raise _usage_error(f"cannot import {module_name!r}: {err}")
+    try:
+        cls = getattr(module, class_name)
+    except AttributeError:
+        raise _usage_error(f"{module_name!r} has no attribute {class_name!r}")
+    if not isinstance(cls, type):
+        raise _usage_error(f"{target!r} is not a class")
+    return cls
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Determinism linting, RWSet inference and MVCC "
+        "conflict prediction for smart contracts.",
+    )
+    parser.add_argument(
+        "target", help="contract class as package.module:ClassName"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable JSON report"
+    )
+    parser.add_argument(
+        "--no-strict",
+        action="store_true",
+        help="fail only on errors (strict mode also fails on warnings)",
+    )
+    args = parser.parse_args(argv)
+
+    cls = _load(args.target)
+    report = analyze_contract(cls, strict=not args.no_strict)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Lint driver: runs the determinism rules over contract source.
+
+Two entry points:
+
+* :func:`lint_source` — lint a source string (e.g. the output of
+  :func:`repro.core.codegen.generate_contract_source` before it is
+  exec'd).
+* :func:`lint_contract` — lint a live :class:`Contract` subclass by
+  recovering its class source with :mod:`inspect`; the defining
+  module's namespace is used to see through import aliases.
+
+``strict`` semantics (shared with the CLI and the codegen gate): errors
+always fail; in strict mode warnings fail too.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+import textwrap
+from typing import List, Optional, Type
+
+from .rules import Diagnostic, SEVERITY_ERROR, run_rules
+
+__all__ = ["StaticCheckError", "lint_source", "lint_contract", "gate"]
+
+
+class StaticCheckError(ValueError):
+    """A contract failed static verification.
+
+    Carries the diagnostics so callers (and tests) can inspect exactly
+    which hazards were found.
+    """
+
+    def __init__(self, message: str, diagnostics: List[Diagnostic]):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+def lint_source(
+    source: str,
+    env: Optional[dict] = None,
+    filename: str = "<contract>",
+) -> List[Diagnostic]:
+    """Lint contract source text; returns all diagnostics found."""
+    tree = ast.parse(textwrap.dedent(source), filename=filename)
+    return run_rules(tree, env=env)
+
+
+def lint_contract(cls: Type) -> List[Diagnostic]:
+    """Lint a live contract class from its recovered source."""
+    source = inspect.getsource(cls)
+    module = sys.modules.get(cls.__module__)
+    env = dict(getattr(module, "__dict__", {})) if module else None
+    return lint_source(source, env=env, filename=f"<{cls.__name__}>")
+
+
+def gate(diagnostics: List[Diagnostic], strict: bool = True) -> List[Diagnostic]:
+    """The diagnostics that fail the check under the given strictness."""
+    if strict:
+        return list(diagnostics)
+    return [d for d in diagnostics if d.severity == SEVERITY_ERROR]

@@ -1,0 +1,418 @@
+"""Determinism lint rules for smart-contract source.
+
+Every peer executes the same contract against the same state and must
+reach the same verdict (§4.2.2) — a contract that consults a wall
+clock, a random source, interpreter-specific identity, or unordered
+collections silently breaks consensus in ways no runtime check can
+catch.  Each rule below encodes one hazard class; the linter
+(:mod:`repro.staticcheck.linter`) runs them over a contract's AST.
+
+Rule codes:
+
+========  ==============================================================
+DET001    nondeterministic value source (``random``, ``uuid``,
+          ``secrets``, ``os.urandom``, ``hash()``/``id()`` builtins)
+DET002    wall-clock read (``time.time`` family, ``datetime.now`` ...)
+          — contracts must use the transaction timestamp instead
+DET003    unordered ``set`` iteration (or ``set.pop``) feeding logic;
+          escalates to an error when the loop writes state
+DET004    I/O — file, console or network access inside a contract
+DET005    cross-invocation state: ``global``/``nonlocal``, writes to
+          class attributes, or ``self.*`` mutation outside ``__init__``
+DET006    floating-point accumulation in a loop (asset math drifts
+          across peers with different summation orders)
+DET007    import of a nondeterministic or I/O module in contract source
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["Diagnostic", "DeterminismVisitor", "run_rules", "SEVERITY_ERROR", "SEVERITY_WARNING"]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Modules whose mere use inside a contract is a determinism hazard.
+RANDOMNESS_MODULES = frozenset({"random", "uuid", "secrets"})
+WALLCLOCK_MODULES = frozenset({"time", "datetime"})
+IO_MODULES = frozenset(
+    {"socket", "urllib", "requests", "http", "subprocess", "shutil", "pathlib", "io"}
+)
+#: ``os`` is special-cased: it is both a randomness source (urandom),
+#: environment-dependent (environ, getpid) and an I/O surface (listdir).
+ENVIRONMENT_MODULES = frozenset({"os", "sys", "platform"})
+
+BANNED_IMPORTS = (
+    RANDOMNESS_MODULES | WALLCLOCK_MODULES | IO_MODULES | ENVIRONMENT_MODULES
+)
+
+#: Builtin calls that depend on interpreter state.  ``hash()`` of a str
+#: is salted per process (PYTHONHASHSEED); ``id()`` is an address.
+NONDETERMINISTIC_BUILTINS = frozenset({"hash", "id"})
+IO_BUILTINS_ERROR = frozenset({"open", "input"})
+IO_BUILTINS_WARNING = frozenset({"print"})
+
+#: Method names that mutate state in place on whatever they are called
+#: on — used by DET003 when the receiver is a set.
+_SET_MUTATORS = frozenset({"pop"})
+
+WRITE_METHOD_NAMES = frozenset({"put", "_put", "_write_asset", "delete"})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, anchored to a source location."""
+
+    code: str
+    message: str
+    line: int
+    col: int
+    severity: str = SEVERITY_ERROR
+    context: str = ""  # enclosing function/class, when known
+
+    def __str__(self) -> str:
+        where = f" [{self.context}]" if self.context else ""
+        return f"{self.severity.upper()} {self.code} L{self.line}:{self.col}{where} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "context": self.context,
+        }
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute chain (``a.b.c()`` → ``a``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted rendering of an attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _module_of(env: Optional[dict], name: str) -> Optional[str]:
+    """Resolve an alias through the live namespace, if one was given."""
+    if not env or name not in env:
+        return None
+    value = env[name]
+    module_name = getattr(value, "__name__", None)
+    if module_name and getattr(value, "__package__", "__nope__") is not None:
+        # Only treat actual module objects as modules.
+        import types
+
+        if isinstance(value, types.ModuleType):
+            return module_name.split(".")[0]
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _contains_state_write(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr in WRITE_METHOD_NAMES
+        ):
+            return True
+    return False
+
+
+def _contains_float_constant(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Constant) and isinstance(child.value, float)
+        for child in ast.walk(node)
+    )
+
+
+class DeterminismVisitor(ast.NodeVisitor):
+    """Collects :class:`Diagnostic` objects over one source tree.
+
+    ``env`` is an optional live namespace (the contract module's
+    ``__dict__``) used to see through import aliases; name-based
+    detection works without it.
+    """
+
+    def __init__(self, env: Optional[dict] = None, class_names: Optional[set] = None):
+        self.env = env or {}
+        self.diagnostics: List[Diagnostic] = []
+        self._context: List[str] = []
+        self._loop_depth = 0
+        self._class_names = set(class_names or ())
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _emit(self, node: ast.AST, code: str, message: str, severity: str = SEVERITY_ERROR):
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                message=message,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                severity=severity,
+                context=".".join(self._context),
+            )
+        )
+
+    def _in_function(self) -> Optional[str]:
+        return self._context[-1] if self._context else None
+
+    def _banned_root(self, name: Optional[str]) -> Optional[str]:
+        """Map an alias or plain name to the hazardous module it names."""
+        if name is None:
+            return None
+        resolved = _module_of(self.env, name)
+        if resolved in BANNED_IMPORTS:
+            return resolved
+        if name in BANNED_IMPORTS and name not in self.env:
+            return name
+        # Plain-name fallback even with an env: a contract module rarely
+        # shadows `random` with something safe.
+        if name in BANNED_IMPORTS:
+            return name
+        return None
+
+    # ------------------------------------------------------------------
+    # DET007: imports
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if root in BANNED_IMPORTS:
+                self._emit(
+                    node,
+                    "DET007",
+                    f"contract source imports nondeterministic module {alias.name!r}",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if root in BANNED_IMPORTS:
+            self._emit(
+                node,
+                "DET007",
+                f"contract source imports from nondeterministic module {node.module!r}",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # scope tracking
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_names.add(node.name)
+        self._context.append(node.name)
+        self.generic_visit(node)
+        self._context.pop()
+
+    def _visit_function(self, node) -> None:
+        self._context.append(node.name)
+        self.generic_visit(node)
+        self._context.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # ------------------------------------------------------------------
+    # DET001/DET002/DET004: hazardous calls
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in NONDETERMINISTIC_BUILTINS:
+                self._emit(
+                    node,
+                    "DET001",
+                    f"builtin {func.id}() depends on interpreter state "
+                    "(hash salting / object addresses) and differs across peers",
+                )
+            elif func.id in IO_BUILTINS_ERROR:
+                self._emit(node, "DET004", f"I/O builtin {func.id}() inside contract code")
+            elif func.id in IO_BUILTINS_WARNING:
+                self._emit(
+                    node,
+                    "DET004",
+                    f"{func.id}() performs console I/O inside contract code",
+                    severity=SEVERITY_WARNING,
+                )
+        elif isinstance(func, ast.Attribute):
+            root = self._banned_root(_root_name(func))
+            dotted = _dotted(func)
+            if root in RANDOMNESS_MODULES:
+                self._emit(
+                    node,
+                    "DET001",
+                    f"call to {dotted}() draws nondeterministic values; "
+                    "contracts must be pure functions of (state, transaction)",
+                )
+            elif root in WALLCLOCK_MODULES:
+                self._emit(
+                    node,
+                    "DET002",
+                    f"call to {dotted}() reads the wall clock; use the "
+                    "transaction timestamp (ctx.timestamp) instead",
+                )
+            elif root in IO_MODULES:
+                self._emit(node, "DET004", f"call to {dotted}() performs I/O")
+            elif root in ENVIRONMENT_MODULES:
+                self._emit(
+                    node,
+                    "DET001",
+                    f"call to {dotted}() depends on the host environment",
+                )
+            # set.pop() removes an arbitrary element
+            if func.attr in _SET_MUTATORS and _is_set_expr(func.value):
+                self._emit(
+                    node,
+                    "DET003",
+                    "set.pop() removes an arbitrary element — unordered across peers",
+                )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Non-call environment reads, e.g. `os.environ[...]`.
+        root = self._banned_root(_root_name(node.value)) if isinstance(
+            node.value, (ast.Name, ast.Attribute)
+        ) else None
+        if root in ENVIRONMENT_MODULES and node.attr in ("environ", "argv", "path"):
+            self._emit(
+                node,
+                "DET001",
+                f"{_dotted(node)} depends on the host environment",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # DET003: unordered iteration
+
+    def visit_For(self, node: ast.For) -> None:
+        iter_expr = node.iter
+        sorted_wrapped = (
+            isinstance(iter_expr, ast.Call)
+            and isinstance(iter_expr.func, ast.Name)
+            and iter_expr.func.id in ("sorted", "list", "tuple")
+            # list()/tuple() of a set is still unordered — only sorted()
+            # launders set iteration.
+            and iter_expr.func.id == "sorted"
+        )
+        target = iter_expr
+        if sorted_wrapped:
+            target = None
+        if target is not None and _is_set_expr(target):
+            writes = _contains_state_write(node)
+            self._emit(
+                node,
+                "DET003",
+                "iteration over a set is unordered across interpreter runs"
+                + ("; the loop writes world state" if writes else ""),
+                severity=SEVERITY_ERROR if writes else SEVERITY_WARNING,
+            )
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    # ------------------------------------------------------------------
+    # DET005: cross-invocation state
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._emit(
+            node,
+            "DET005",
+            f"global statement ({', '.join(node.names)}): module state "
+            "persists across invocations and across peers differently",
+        )
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self._emit(node, "DET005", "nonlocal state mutation inside contract code")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_state_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_state_target(node.target)
+        # DET006: float accumulation in a loop
+        if self._loop_depth > 0 and isinstance(node.op, (ast.Add, ast.Sub, ast.Mult)):
+            if _contains_float_constant(node.value):
+                self._emit(
+                    node,
+                    "DET006",
+                    "floating-point accumulation in a loop: summation order "
+                    "and rounding can diverge across peers; use integers "
+                    "(fixed-point) for asset math",
+                    severity=SEVERITY_WARNING,
+                )
+        self.generic_visit(node)
+
+    def _check_state_target(self, target: ast.AST) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        fn = self._in_function()
+        if isinstance(base, ast.Name):
+            if base.id in self._class_names:
+                self._emit(
+                    target,
+                    "DET005",
+                    f"assignment to class attribute {_dotted(target)} mutates "
+                    "state shared across invocations",
+                )
+            elif base.id == "self" and fn not in (None, "__init__"):
+                self._emit(
+                    target,
+                    "DET005",
+                    f"assignment to self.{target.attr} outside __init__: "
+                    "instance state does not survive peer restarts and is "
+                    "not part of consensus",
+                    severity=SEVERITY_WARNING,
+                )
+        elif (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+            and base.attr == "__class__"
+        ):
+            self._emit(target, "DET005", "mutation of self.__class__ attributes")
+
+
+def run_rules(
+    tree: ast.AST,
+    env: Optional[dict] = None,
+    class_names: Optional[set] = None,
+) -> List[Diagnostic]:
+    """Run every determinism rule over ``tree``; returns diagnostics."""
+    visitor = DeterminismVisitor(env=env, class_names=class_names)
+    visitor.visit(tree)
+    return sorted(visitor.diagnostics, key=lambda d: (d.line, d.col, d.code))

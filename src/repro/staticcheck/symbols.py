@@ -1,0 +1,186 @@
+"""Symbolic world-state keys for static read/write-set inference.
+
+The analyzer cannot know concrete key strings like ``asset/p1/6`` ahead
+of time — it sees key *expressions* (``asset_key(player, aid)``,
+f-strings, string constants).  This module models the result of
+partially evaluating such an expression: a :class:`KeyPattern` is a
+sequence of literal fragments and :class:`Sym` placeholders, each
+placeholder tagged with *where its value comes from* at runtime.
+
+The provenance tag is what makes conflict prediction possible:
+
+* ``CREATOR`` — the transaction submitter's identity.  Two transactions
+  from the *same* player produce equal values; from different players,
+  different values.
+* ``NONCE`` — per-transaction unique material (nonce, tx id).  Never
+  equal across two distinct transactions, which is exactly why the
+  runtime's ``~nonce/{creator}/{nonce}`` marker is conflict-free.
+* ``ARG`` — an invocation argument (e.g. ``payload["item_id"]``).  Two
+  transactions may or may not pass the same value, so patterns built
+  from arguments *may* collide.
+* ``UNKNOWN`` — anything the evaluator could not resolve (state reads,
+  loop variables over unresolvable iterables).  Treated like ``ARG``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, Union
+
+__all__ = ["Sym", "KeyPattern", "SymKind", "make_pattern", "may_collide", "covers_key"]
+
+
+class SymKind:
+    """Provenance of a symbolic key fragment (see module docstring)."""
+
+    CREATOR = "creator"
+    NONCE = "nonce"
+    ARG = "arg"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Sym:
+    """One unresolved fragment of a world-state key."""
+
+    name: str
+    kind: str = SymKind.UNKNOWN
+
+    def __str__(self) -> str:
+        return "{%s}" % self.name
+
+
+Part = Union[str, Sym]
+
+
+@dataclass(frozen=True)
+class KeyPattern:
+    """A world-state key with zero or more symbolic fragments.
+
+    ``parts`` alternates literal strings and :class:`Sym` placeholders;
+    a fully literal pattern is a concrete key.  Placeholders are assumed
+    to expand to non-empty text without ``/`` (all key helpers in this
+    codebase interpolate identifiers, asset ids and nonces, none of
+    which contain the segment separator).
+    """
+
+    parts: Tuple[Part, ...]
+
+    def __str__(self) -> str:
+        return "".join(str(p) for p in self.parts)
+
+    @property
+    def is_literal(self) -> bool:
+        return all(isinstance(p, str) for p in self.parts)
+
+    def regex(self) -> "re.Pattern[str]":
+        out = []
+        for part in self.parts:
+            if isinstance(part, str):
+                out.append(re.escape(part))
+            else:
+                out.append(r"[^/]+")
+        return re.compile("".join(out) + r"\Z")
+
+    def covers(self, key: str) -> bool:
+        """True if this pattern can expand to the concrete ``key``."""
+        return self.regex().match(key) is not None
+
+    # ------------------------------------------------------------------
+    # segmentation (for pairwise collision analysis)
+
+    def segments(self) -> List[List[Part]]:
+        """Split on ``/`` into per-segment token lists.
+
+        Literal parts may span several segments; symbolic parts stay
+        within one (see class docstring).
+        """
+        segments: List[List[Part]] = [[]]
+        for part in self.parts:
+            if isinstance(part, Sym):
+                segments[-1].append(part)
+                continue
+            pieces = part.split("/")
+            segments[-1].append(pieces[0])
+            for piece in pieces[1:]:
+                segments.append([piece])
+        return segments
+
+
+def make_pattern(parts: Iterable[Part]) -> KeyPattern:
+    """Build a :class:`KeyPattern`, merging adjacent literal fragments."""
+    return KeyPattern(tuple(_normalise(list(parts))))
+
+
+def _normalise(tokens: Sequence[Part]) -> List[Part]:
+    """Drop empty literals and merge adjacent literal tokens."""
+    out: List[Part] = []
+    for token in tokens:
+        if isinstance(token, str):
+            if not token:
+                continue
+            if out and isinstance(out[-1], str):
+                out[-1] = out[-1] + token
+                continue
+        out.append(token)
+    return out
+
+
+def _segments_may_equal(a: Sequence[Part], b: Sequence[Part], same_creator: bool) -> bool:
+    """Can two key segments expand to the same text?"""
+    a = _normalise(a)
+    b = _normalise(b)
+    if all(isinstance(t, str) for t in a) and all(isinstance(t, str) for t in b):
+        return "".join(a) == "".join(b)
+
+    # Single-placeholder segments get the precise provenance rules.
+    if len(a) == 1 and len(b) == 1 and isinstance(a[0], Sym) and isinstance(b[0], Sym):
+        ka, kb = a[0].kind, b[0].kind
+        if SymKind.NONCE in (ka, kb):
+            return False  # per-transaction unique material never collides
+        if ka == kb == SymKind.CREATOR:
+            return same_creator
+        return True
+
+    # Mixed segments: compare the literal prefixes and suffixes that
+    # survive around the placeholders; incompatible literals rule the
+    # collision out, otherwise stay conservative.
+    def literal_prefix(tokens: Sequence[Part]) -> str:
+        return tokens[0] if tokens and isinstance(tokens[0], str) else ""
+
+    def literal_suffix(tokens: Sequence[Part]) -> str:
+        return tokens[-1] if tokens and isinstance(tokens[-1], str) else ""
+
+    pa, pb = literal_prefix(a), literal_prefix(b)
+    shared = min(len(pa), len(pb))
+    if pa[:shared] != pb[:shared]:
+        return False
+    sa, sb = literal_suffix(a), literal_suffix(b)
+    shared = min(len(sa), len(sb))
+    if shared and sa[-shared:] != sb[-shared:]:
+        return False
+    # A nonce placeholder anywhere keeps the never-collides guarantee
+    # only when it spans the whole segment; embedded, stay conservative.
+    return True
+
+
+def may_collide(a: KeyPattern, b: KeyPattern, same_creator: bool) -> bool:
+    """Can patterns ``a`` and ``b`` expand to the same concrete key?
+
+    ``same_creator`` selects whether CREATOR placeholders in the two
+    patterns refer to the same player (two transactions by one player in
+    one block) or to different players.
+    """
+    seg_a = a.segments()
+    seg_b = b.segments()
+    if len(seg_a) != len(seg_b):
+        return False
+    return all(
+        _segments_may_equal(sa, sb, same_creator) for sa, sb in zip(seg_a, seg_b)
+    )
+
+
+def covers_key(patterns: Iterable[KeyPattern], key: str) -> bool:
+    """True if any pattern in ``patterns`` covers the concrete ``key``."""
+    return any(p.covers(key) for p in patterns)

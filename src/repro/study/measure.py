@@ -16,10 +16,10 @@ playable range (≥230 ms) rather than at the population median.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .steam import LATENCY_BINS, SteamEcosystem
+from .steam import SteamEcosystem
 from .tracker import GameTracker
 
 __all__ = ["TitleMeasurement", "SteamStudy"]

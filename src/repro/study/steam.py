@@ -13,7 +13,7 @@ harness exercises the paper's procedure, not just its numbers.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["GameTitle", "Server", "SteamEcosystem", "STUDY_TITLES", "LATENCY_BINS"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from .steam import GameTitle, SteamEcosystem
+from .steam import SteamEcosystem
 
 __all__ = ["GameTracker"]
 

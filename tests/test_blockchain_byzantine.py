@@ -1,7 +1,6 @@
 """Byzantine-behaviour tests: lying voters, duplicate deliveries,
 stale queries — the adversarial corners of the peer protocol."""
 
-import pytest
 
 from repro.blockchain import (
     BlockchainNetwork,
@@ -88,7 +87,7 @@ class TestLyingVoters:
         assert submit(chain, client, "init", ("m",)).code == TxValidationCode.VALID
         for i in (2, 3, 4):
             make_liar(chain.peers[i])
-        res = submit(chain, client, "sub", ("m", 99))  # illegal: negative
+        submit(chain, client, "sub", ("m", 99))  # illegal: negative
         # Consensus (of liars) accepted it, but honest peers have no
         # valid execution to apply — state stays legal, divergence is
         # flagged for out-of-band action.

@@ -1,6 +1,5 @@
 """Tests for ordering-service details and the §8(2) priority extension."""
 
-import pytest
 
 from repro.blockchain import BlockchainNetwork, FabricConfig, TxValidationCode
 from repro.simnet import LAN_1GBPS

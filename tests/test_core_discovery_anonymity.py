@@ -101,7 +101,6 @@ class TestDiscovery:
         assert sorted(p.outcome.roster_position for p in peers) == [0, 1, 2]
 
     def test_zero_slot_room_rejected(self, ca):
-        net = Network(profile=LAN_1GBPS)
         ad = Advertisement("doom", "d", "majority", 100.0)
         with pytest.raises(ValueError):
             DiscoveryListener("x", "lan", ad, 0, ca.verify)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.blockchain import TxValidationCode
 from repro.core import DoomContract
-from repro.game import AssetId, DoomMap, DoomRules, EventType, WeaponId, asset_key
+from repro.game import AssetId, DoomMap, EventType, WeaponId, asset_key
 
 from conftest import ContractHarness
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import GameSpec, SpecError, doom_spec, parse_spec
+from repro.core import SpecError, doom_spec, parse_spec
 from repro.core.spec import ADDITIVE, MULTIPLICATIVE, PowerSpec
 
 MINIMAL = """

@@ -58,9 +58,8 @@ class TestGenerator:
         assert shoot >= 5  # bursts well above the sparse background
 
     def test_movement_respects_speed_limit(self, session):
-        from repro.game import DoomMap, DoomRules
+        from repro.game import DoomRules
 
-        game_map = DoomMap.default_map()
         prev = None
         for event in session:
             if event.etype != EventType.LOCATION:

@@ -1,6 +1,6 @@
 """Property-based tests: consensus policy and the batching model."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.blockchain import ConsensusPolicy

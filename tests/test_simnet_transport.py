@@ -11,7 +11,6 @@ from repro.simnet import (
     LatencyProfile,
     Network,
     Region,
-    Scheduler,
     place_random,
     place_round_robin,
 )

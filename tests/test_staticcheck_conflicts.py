@@ -1,0 +1,233 @@
+"""Conflict predictor: static pairwise verdicts, checked against the
+real ledger's MVCC behaviour when the predicted pairs are batched into
+one block."""
+
+import pytest
+
+from repro.blockchain import (
+    CertificateAuthority,
+    Proposal,
+    Transaction,
+)
+from repro.blockchain.block import make_block, make_genesis_block
+from repro.blockchain.contracts import execute_transaction
+from repro.blockchain.ledger import Ledger, TxExecution
+from repro.core import DoomContract
+from repro.game.events import EventType
+from repro.staticcheck import ConflictLevel, infer_footprints, predict_conflicts
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return predict_conflicts(infer_footprints(DoomContract))
+
+
+# ----------------------------------------------------------------------
+# static verdicts
+
+
+class TestPredictedLevels:
+    def test_shoot_vs_shoot_same_player_only(self, matrix):
+        # Two shots write the shooter's own ammo key — the paper's §6
+        # "two successive bullets" example.  Distinct players write
+        # distinct asset/{player}/2 keys, so cross-player is fine.
+        assert matrix.level(EventType.SHOOT, EventType.SHOOT) == ConflictLevel.SAME_PLAYER
+
+    def test_location_vs_shoot_conflict_free(self, matrix):
+        # position (aid 6) vs weapon/ammo (aids 3, 2): disjoint keys.
+        assert matrix.level(EventType.LOCATION, EventType.SHOOT) == ConflictLevel.NONE
+
+    def test_location_vs_location_same_player_only(self, matrix):
+        assert matrix.level(EventType.LOCATION, EventType.LOCATION) == ConflictLevel.SAME_PLAYER
+
+    def test_damage_is_always_against_same_asset_handlers(self, matrix):
+        # damage writes asset/{arg:target}/1 — the target is payload-
+        # addressed, so two players can name the same victim...
+        assert matrix.level(EventType.DAMAGE, EventType.DAMAGE) == ConflictLevel.ALWAYS
+        # ...including a victim concurrently healing (same health key).
+        assert (
+            matrix.level(EventType.DAMAGE, EventType.PICKUP_MEDKIT)
+            == ConflictLevel.ALWAYS
+        )
+        # But position (aid 6) is disjoint from health/armor (aids 1, 4):
+        # the analyzer is precise enough to keep this pair conflict-free.
+        assert matrix.level(EventType.DAMAGE, EventType.LOCATION) == ConflictLevel.NONE
+
+    def test_add_player_is_always(self, matrix):
+        # game/roster is one shared key.
+        assert matrix.level("addPlayer", "addPlayer") == ConflictLevel.ALWAYS
+        assert matrix.level("addPlayer", EventType.DAMAGE) == ConflictLevel.ALWAYS
+
+    def test_pickups_collide_via_item_key(self, matrix):
+        # item/{arg:item_id}: two players may race for the same item.
+        assert (
+            matrix.level(EventType.PICKUP_CLIP, EventType.PICKUP_CLIP)
+            == ConflictLevel.ALWAYS
+        )
+
+    def test_matrix_is_symmetric(self, matrix):
+        for a in matrix.events:
+            for b in matrix.events:
+                assert matrix.level(a, b) == matrix.level(b, a)
+
+    def test_witness_names_the_colliding_patterns(self, matrix):
+        witness = matrix.witnesses[(EventType.SHOOT, EventType.SHOOT)]
+        assert any("asset/" in w for w in witness)
+
+    def test_json_and_table_render(self, matrix):
+        blob = matrix.to_json()
+        assert set(blob) == {"events", "conflicts"}
+        rendered = matrix.to_table().render()
+        for event in matrix.events:
+            assert event in rendered
+
+
+# ----------------------------------------------------------------------
+# differential: predictions vs the real ledger's MVCC check
+
+
+class LedgerPairRunner:
+    """Executes two invocations against a prepared game state, batches
+    them into ONE block, and returns the ledger's validation codes."""
+
+    def __init__(self):
+        self.ca = CertificateAuthority(name="conflict-ca")
+        self._identities = {}
+        self._nonce = 0
+
+    def _identity(self, name):
+        if name not in self._identities:
+            self._identities[name] = self.ca.enroll(name)
+        return self._identities[name]
+
+    def _tx(self, contract, function, payload, creator, t=1000.0):
+        self._nonce += 1
+        identity = self._identity(creator)
+        proposal = Proposal(
+            tx_id=f"c{self._nonce}",
+            contract=contract.name,
+            function=function,
+            args=(payload,),
+            nonce=f"cn{self._nonce}",
+            creator=creator,
+            timestamp=t,
+        )
+        return Transaction(
+            proposal=proposal,
+            certificate=identity.certificate,
+            signature=identity.sign(proposal.digest()),
+        )
+
+    def run_pair(self, call_a, call_b, players=("p1", "p2")):
+        """Each call is (function, payload, creator).  Returns the two
+        validation codes after committing both txs in one block."""
+        contract = DoomContract(strict_pickups=False)
+        ledger = Ledger(make_genesis_block({"peers": ["p0"]}))
+
+        # Setup: join + start, one block per tx (no artificial conflicts).
+        for function, payload, creator in (
+            [("addPlayer", {}, p) for p in players] + [("startGame", {}, players[0])]
+        ):
+            tx = self._tx(contract, function, payload, creator)
+            execution = execute_transaction(contract, tx, ledger.state)
+            codes = ledger.append(
+                make_block(ledger.height, ledger.last_hash, [tx], 0.0),
+                [TxExecution(rwset=execution.rwset, code=execution.code)],
+            )
+            assert codes == ["VALID"], f"setup {function} failed: {codes}"
+
+        # The pair under test: both executed against the SAME snapshot,
+        # then ordered into the same block — exactly the §6 scenario.
+        txs, execs = [], []
+        for function, payload, creator in (call_a, call_b):
+            tx = self._tx(contract, function, payload, creator)
+            execution = execute_transaction(contract, tx, ledger.state)
+            assert execution.code == "VALID"
+            txs.append(tx)
+            execs.append(TxExecution(rwset=execution.rwset, code=execution.code))
+        return ledger.append(
+            make_block(ledger.height, ledger.last_hash, txs, 1000.0), execs
+        )
+
+
+@pytest.fixture()
+def runner():
+    return LedgerPairRunner()
+
+
+SHOOT = (EventType.SHOOT, {"count": 1, "t": 1000.0})
+
+
+def move_payload(creator):
+    """A legal location update: step back onto the player's own spawn."""
+    from repro.game.doom import DoomMap
+
+    spawns = DoomMap.default_map().spawn_points
+    spawn = spawns[0] if creator == "p1" else spawns[1 % len(spawns)]
+    return {"x": spawn[0], "y": spawn[1], "t": 1000.0}
+
+
+class TestLedgerAgreement:
+    def test_same_player_pair_conflicts_on_ledger(self, runner, matrix):
+        assert matrix.level(EventType.SHOOT, EventType.SHOOT) != ConflictLevel.NONE
+        codes = runner.run_pair(
+            (SHOOT[0], SHOOT[1], "p1"), (SHOOT[0], SHOOT[1], "p1")
+        )
+        assert codes == ["VALID", "MVCC_READ_CONFLICT"]
+
+    def test_same_player_pair_is_clean_across_players(self, runner, matrix):
+        # SAME_PLAYER (not ALWAYS) promises cross-player batches commit.
+        assert (
+            matrix.level(EventType.SHOOT, EventType.SHOOT)
+            == ConflictLevel.SAME_PLAYER
+        )
+        codes = runner.run_pair(
+            (SHOOT[0], SHOOT[1], "p1"), (SHOOT[0], SHOOT[1], "p2")
+        )
+        assert codes == ["VALID", "VALID"]
+
+    def test_none_pair_never_conflicts(self, runner, matrix):
+        assert matrix.level(EventType.LOCATION, EventType.SHOOT) == ConflictLevel.NONE
+        for creators in (("p1", "p1"), ("p1", "p2")):
+            codes = runner.run_pair(
+                (EventType.LOCATION, move_payload(creators[0]), creators[0]),
+                (SHOOT[0], SHOOT[1], creators[1]),
+            )
+            assert codes == ["VALID", "VALID"], creators
+
+    def test_always_pair_conflicts_across_players(self, runner, matrix):
+        # Two players damaging the same victim collide on the victim's
+        # health key even though the creators differ.
+        assert matrix.level(EventType.DAMAGE, EventType.DAMAGE) == ConflictLevel.ALWAYS
+        codes = runner.run_pair(
+            (EventType.DAMAGE, {"amount": 5, "target": "p1", "t": 1000.0}, "p1"),
+            (EventType.DAMAGE, {"amount": 5, "target": "p1", "t": 1000.0}, "p2"),
+        )
+        assert codes == ["VALID", "MVCC_READ_CONFLICT"]
+
+    def test_soundness_no_none_pair_ever_conflicts(self, runner, matrix):
+        """The predictor's sound direction: a NONE verdict guarantees
+        the ledger never reports a conflict for that pair (checked for
+        every NONE pair that is cheap to stage)."""
+        def stage(etype, creator):
+            if etype == EventType.LOCATION:
+                return move_payload(creator)
+            return {
+                EventType.SHOOT: {"count": 1, "t": 1000.0},
+                EventType.WEAPON_CHANGE: {"wid": 0, "t": 1000.0},
+            }[etype]
+
+        stageable = {EventType.SHOOT, EventType.LOCATION, EventType.WEAPON_CHANGE}
+        none_pairs = [
+            (a, b)
+            for (a, b) in matrix.pairs(ConflictLevel.NONE)
+            if a in stageable and b in stageable
+        ]
+        assert none_pairs, "expected at least one stageable NONE pair"
+        for a, b in none_pairs:
+            for creators in (("p1", "p1"), ("p1", "p2")):
+                codes = runner.run_pair(
+                    (a, stage(a, creators[0]), creators[0]),
+                    (b, stage(b, creators[1]), creators[1]),
+                )
+                assert codes == ["VALID", "VALID"], (a, b, creators)

@@ -1,0 +1,256 @@
+"""Unit tests for the determinism lint rules (positive and negative
+fixtures per rule) and the codegen compile gate."""
+
+import pytest
+
+from repro.core import DoomContract, MonopolyContract
+from repro.core.codegen import compile_contract_source
+from repro.staticcheck import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    StaticCheckError,
+    gate,
+    lint_contract,
+    lint_source,
+)
+
+
+def codes(diagnostics):
+    return sorted({d.code for d in diagnostics})
+
+
+def contract_with(body, extra_top=""):
+    """Wrap a handler body into a minimal contract class source."""
+    indented = "\n".join("        " + line for line in body.splitlines())
+    return (
+        f"{extra_top}\n"
+        "class FixtureContract:\n"
+        "    name = 'fixture'\n"
+        "    def on_event(self, ctx, payload):\n"
+        f"{indented}\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# DET001 — nondeterministic value sources
+
+
+class TestDet001Randomness:
+    def test_random_call_flagged(self):
+        diags = lint_source(contract_with("ctx.view.put('k', random.random())"))
+        assert "DET001" in codes(diags)
+        assert any(d.severity == SEVERITY_ERROR for d in diags)
+
+    def test_uuid_call_flagged(self):
+        diags = lint_source(contract_with("ctx.view.put('k', str(uuid.uuid4()))"))
+        assert "DET001" in codes(diags)
+
+    def test_hash_builtin_flagged(self):
+        diags = lint_source(contract_with("ctx.view.put('k', hash(ctx.creator))"))
+        assert "DET001" in codes(diags)
+
+    def test_id_builtin_flagged(self):
+        diags = lint_source(contract_with("ctx.view.put('k', id(payload))"))
+        assert "DET001" in codes(diags)
+
+    def test_os_environ_flagged(self):
+        diags = lint_source(contract_with("ctx.view.put('k', os.environ['HOME'])"))
+        assert "DET001" in codes(diags)
+
+    def test_plain_arithmetic_not_flagged(self):
+        diags = lint_source(contract_with("ctx.view.put('k', 1 + 2)"))
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall-clock reads
+
+
+class TestDet002WallClock:
+    def test_time_time_flagged(self):
+        diags = lint_source(contract_with("ctx.view.put('k', time.time())"))
+        assert "DET002" in codes(diags)
+
+    def test_datetime_now_flagged(self):
+        diags = lint_source(contract_with("ctx.view.put('k', datetime.now())"))
+        assert "DET002" in codes(diags)
+
+    def test_ctx_timestamp_is_fine(self):
+        diags = lint_source(contract_with("ctx.view.put('k', ctx.timestamp)"))
+        assert diags == []
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration
+
+
+class TestDet003UnorderedIteration:
+    def test_set_iteration_writing_state_is_error(self):
+        body = "for p in {'a', 'b'}:\n    ctx.view.put(p, 1)"
+        diags = lint_source(contract_with(body))
+        det3 = [d for d in diags if d.code == "DET003"]
+        assert det3 and det3[0].severity == SEVERITY_ERROR
+
+    def test_set_iteration_without_write_is_warning(self):
+        body = "total = 0\nfor p in set(payload):\n    total += 1"
+        diags = lint_source(contract_with(body))
+        det3 = [d for d in diags if d.code == "DET003"]
+        assert det3 and det3[0].severity == SEVERITY_WARNING
+
+    def test_sorted_set_iteration_is_fine(self):
+        body = "for p in sorted({'a', 'b'}):\n    ctx.view.put(p, 1)"
+        diags = lint_source(contract_with(body))
+        assert "DET003" not in codes(diags)
+
+    def test_dict_iteration_is_fine(self):
+        # Python dicts iterate in insertion order — deterministic.
+        body = "for k, v in payload.items():\n    ctx.view.put(str(k), v)"
+        diags = lint_source(contract_with(body))
+        assert "DET003" not in codes(diags)
+
+    def test_set_pop_flagged(self):
+        diags = lint_source(contract_with("x = {'a', 'b'}.pop()"))
+        assert "DET003" in codes(diags)
+
+
+# ----------------------------------------------------------------------
+# DET004 — I/O
+
+
+class TestDet004Io:
+    def test_open_is_error(self):
+        diags = lint_source(contract_with("data = open('f').read()"))
+        det4 = [d for d in diags if d.code == "DET004"]
+        assert det4 and det4[0].severity == SEVERITY_ERROR
+
+    def test_print_is_warning(self):
+        diags = lint_source(contract_with("print('debug')"))
+        det4 = [d for d in diags if d.code == "DET004"]
+        assert det4 and det4[0].severity == SEVERITY_WARNING
+
+    def test_socket_call_is_error(self):
+        diags = lint_source(contract_with("s = socket.socket()"))
+        assert "DET004" in codes(diags)
+
+
+# ----------------------------------------------------------------------
+# DET005 — cross-invocation state
+
+
+class TestDet005SharedState:
+    def test_global_statement_flagged(self):
+        body = "global counter\ncounter = 1"
+        diags = lint_source(contract_with(body))
+        assert "DET005" in codes(diags)
+
+    def test_class_attribute_assignment_flagged(self):
+        diags = lint_source(contract_with("FixtureContract.cache = payload"))
+        assert "DET005" in codes(diags)
+
+    def test_self_mutation_in_handler_is_warning(self):
+        diags = lint_source(contract_with("self.last_seen = ctx.creator"))
+        det5 = [d for d in diags if d.code == "DET005"]
+        assert det5 and det5[0].severity == SEVERITY_WARNING
+
+    def test_self_assignment_in_init_is_fine(self):
+        source = (
+            "class FixtureContract:\n"
+            "    def __init__(self):\n"
+            "        self.split_kvs = True\n"
+        )
+        assert lint_source(source) == []
+
+
+# ----------------------------------------------------------------------
+# DET006 — float accumulation
+
+
+class TestDet006FloatAccumulation:
+    def test_float_augassign_in_loop_is_warning(self):
+        body = "total = 0.0\nfor v in payload.get('vals', []):\n    total += 0.1"
+        diags = lint_source(contract_with(body))
+        det6 = [d for d in diags if d.code == "DET006"]
+        assert det6 and det6[0].severity == SEVERITY_WARNING
+
+    def test_integer_accumulation_is_fine(self):
+        body = "total = 0\nfor v in payload.get('vals', []):\n    total += 1"
+        diags = lint_source(contract_with(body))
+        assert "DET006" not in codes(diags)
+
+
+# ----------------------------------------------------------------------
+# DET007 — imports
+
+
+class TestDet007Imports:
+    def test_import_random_flagged(self):
+        diags = lint_source("import random\n")
+        assert "DET007" in codes(diags)
+
+    def test_from_time_import_flagged(self):
+        diags = lint_source("from time import time\n")
+        assert "DET007" in codes(diags)
+
+    def test_repro_imports_fine(self):
+        diags = lint_source("from repro.blockchain.contracts import Contract\n")
+        assert diags == []
+
+    def test_math_import_fine(self):
+        assert lint_source("import math\n") == []
+
+
+# ----------------------------------------------------------------------
+# gate semantics + shipped contracts
+
+
+class TestGate:
+    def test_strict_fails_on_warnings(self):
+        diags = lint_source(contract_with("print('x')"))
+        assert gate(diags, strict=True) and not gate(diags, strict=False)
+
+    def test_errors_always_fail(self):
+        diags = lint_source(contract_with("ctx.view.put('k', random.random())"))
+        assert gate(diags, strict=False)
+
+
+class TestShippedContracts:
+    def test_doom_contract_is_clean_in_strict_mode(self):
+        assert gate(lint_contract(DoomContract), strict=True) == []
+
+    def test_monopoly_contract_is_clean_in_strict_mode(self):
+        assert gate(lint_contract(MonopolyContract), strict=True) == []
+
+
+# ----------------------------------------------------------------------
+# codegen compile gate
+
+
+HAZARDOUS_SOURCE = '''
+from repro.blockchain.contracts import Contract, ContractError
+import random
+
+
+class RiggedContract(Contract):
+    name = "rigged"
+
+    def invoke(self, ctx, function, args):
+        ctx.view.put("dice", random.randint(1, 6))
+'''
+
+
+class TestCompileGate:
+    def test_hazardous_source_rejected(self):
+        with pytest.raises(StaticCheckError) as excinfo:
+            compile_contract_source(HAZARDOUS_SOURCE)
+        assert any(d.code in ("DET001", "DET007") for d in excinfo.value.diagnostics)
+
+    def test_escape_hatch_compiles_anyway(self):
+        cls = compile_contract_source(HAZARDOUS_SOURCE, strict=None)
+        assert cls.__name__ == "RiggedContract"
+
+    def test_clean_generated_source_passes(self):
+        from repro.core.codegen import generate_contract_source
+        from repro.core.doomspec import doom_spec
+
+        cls = compile_contract_source(generate_contract_source(doom_spec()))
+        assert cls.name == "doom"

@@ -1,0 +1,100 @@
+"""The repo's own gate: every shipped contract must pass the static
+analyzer in strict mode, and the CLI must agree (tier-1)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import DoomContract, MonopolyContract
+from repro.core.codegen import generate_contract_source
+from repro.core.doomspec import doom_spec
+from repro.staticcheck import analyze_contract, analyze_source
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+ALL_CONTRACTS = [DoomContract, MonopolyContract]
+
+
+@pytest.mark.parametrize("cls", ALL_CONTRACTS, ids=lambda c: c.__name__)
+def test_registered_contract_passes_strict_gate(cls):
+    report = analyze_contract(cls, strict=True)
+    assert report.ok, [str(d) for d in report.failures()]
+    assert report.footprints, "expected at least one handler footprint"
+
+
+def test_generated_doom_source_passes_strict_gate():
+    report = analyze_source(generate_contract_source(doom_spec()))
+    assert report.ok, [str(d) for d in report.failures()]
+    assert "addPlayer" in report.footprints
+
+
+@pytest.mark.parametrize("cls", ALL_CONTRACTS, ids=lambda c: c.__name__)
+def test_report_renders_and_serializes(cls):
+    report = analyze_contract(cls)
+    rendered = report.render()
+    assert "Verdict: PASS" in rendered
+    blob = report.to_json()
+    assert blob["ok"] is True and blob["contract"] == cls.__name__
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def run_cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.staticcheck", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+class TestCli:
+    def test_doom_contract_exits_zero_in_strict_mode(self):
+        proc = run_cli("repro.core.doom_contract:DoomContract")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "Verdict: PASS" in proc.stdout
+
+    def test_json_report_has_per_event_footprints(self):
+        proc = run_cli("repro.core.doom_contract:DoomContract", "--json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        blob = json.loads(proc.stdout)
+        assert blob["ok"] is True
+        assert "location" in blob["footprints"]
+        fp = blob["footprints"]["location"]
+        assert fp["reads"] and fp["writes"]
+
+    def test_monopoly_contract_exits_zero(self):
+        proc = run_cli("repro.core.monopoly_contract:MonopolyContract")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_hazardous_contract_exits_one(self, tmp_path):
+        (tmp_path / "hazmod.py").write_text(
+            "import random\n"
+            "class HazardContract:\n"
+            "    name = 'haz'\n"
+            "    def on_roll(self, ctx, payload):\n"
+            "        ctx.view.put('dice', random.randint(1, 6))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(tmp_path) + os.pathsep + SRC + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.staticcheck", "hazmod:HazardContract"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 1
+        assert "DET" in proc.stdout
+
+    def test_usage_error_exits_two(self):
+        proc = run_cli("not-a-target")
+        assert proc.returncode == 2

@@ -5,7 +5,6 @@ import pytest
 from repro.study import (
     LATENCY_BINS,
     STUDY_TITLES,
-    GameTracker,
     SteamEcosystem,
     SteamStudy,
 )
