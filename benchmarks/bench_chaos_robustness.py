@@ -1,0 +1,66 @@
+"""Robustness under chaos: goodput and convergence across fault mixes.
+
+The paper's robustness claim (§7.2.4(3)) is that validation survives
+faulty minorities.  The chaos harness generalises the experiment: the
+same seeded workload is driven through every catalog fault mix, and we
+report committed-VALID goodput, timeout fraction and the transport-level
+fault counters — with every safety and liveness invariant checked on
+every run.
+"""
+
+from repro.analysis import AsciiTable
+from repro.chaos import get_scenario, run_scenario
+
+SEED = 42
+SCENARIOS = (
+    "baseline",
+    "message-storm",
+    "churn",
+    "partition",
+    "orderer-failover",
+    "ddos",
+    "churn-partition-ddos",
+)
+
+
+def run_grid():
+    results = {}
+    for name in SCENARIOS:
+        results[name] = run_scenario(name, seed=SEED)
+    return results
+
+
+def test_chaos_robustness(benchmark):
+    results = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+
+    table = AsciiTable(
+        ["scenario", "faults", "valid", "timeouts", "goodput/s",
+         "drops", "dups", "invariants"],
+        title=f"Chaos robustness grid (seed {SEED})",
+    )
+    for name, result in results.items():
+        duration_s = get_scenario(name).duration_ms / 1000.0
+        valid = result.workload_summary.get("VALID", 0)
+        timeouts = result.workload_summary.get("TIMEOUT", 0)
+        stats = result.network_stats
+        table.row(
+            name,
+            result.faults_applied,
+            valid,
+            timeouts,
+            f"{valid / duration_s:.1f}",
+            stats["messages_dropped"],
+            stats["messages_duplicated"],
+            "green" if result.ok else f"{len(result.violations)} VIOLATIONS",
+        )
+    table.print()
+
+    for name, result in results.items():
+        assert result.ok, (name, [v.describe() for v in result.violations])
+        assert result.probe_codes == ["VALID", "VALID", "VALID"], name
+
+    # Chaos costs goodput but never correctness: the kitchen-sink mix
+    # still commits a substantial share of the calm baseline's traffic.
+    baseline = results["baseline"].workload_summary.get("VALID", 0)
+    worst = results["churn-partition-ddos"].workload_summary.get("VALID", 0)
+    assert worst > 0.5 * baseline, (worst, baseline)

@@ -74,6 +74,18 @@ class FabricConfig:
 
     verify_signatures: bool = True
 
+    #: Anti-entropy retransmission: a peer with unfinished consensus work
+    #: (an executed-but-undecided block, an unacknowledged sync hash, or a
+    #: known delivery gap) re-broadcasts its vote / state hash / backfill
+    #: request every ``anti_entropy_ms`` until it either makes progress or
+    #: has retried ``anti_entropy_max_retries`` times without any.  This
+    #: is what lets consensus survive *message-level* faults (drops,
+    #: floods) rather than only whole-host takedowns; retries are bounded
+    #: so a genuinely dead quorum still lets the simulation quiesce.
+    #: ``anti_entropy_ms = 0`` disables retransmission entirely.
+    anti_entropy_ms: float = 400.0
+    anti_entropy_max_retries: int = 3
+
     #: Extension addressing limitation §8(2): contract functions listed
     #: here are ordered ahead of others within a block (a C/S server
     #: "may prioritize SHOOT events over location updates"); the default

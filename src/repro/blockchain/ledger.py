@@ -53,6 +53,10 @@ class Ledger:
         self._blocks: List[Block] = [genesis]
         self.state = WorldState()
         self._tx_index: Dict[str, Tuple[str, int]] = {}  # tx_id -> (code, block number)
+        #: Observer called after every successful append with
+        #: ``(block, executions, codes)`` — the chaos invariant monitor
+        #: hooks here to re-check MVCC and cross-peer consistency.
+        self.on_append = None
 
     # ------------------------------------------------------------------
     # chain accessors
@@ -115,6 +119,8 @@ class Ledger:
 
         block.validation_codes = codes
         self._blocks.append(block)
+        if self.on_append is not None:
+            self.on_append(block, executions, codes)
         return codes
 
     def _mvcc_check(self, rwset: RWSet, written_this_block: Set[str]) -> str:

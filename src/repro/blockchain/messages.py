@@ -49,6 +49,9 @@ class VoteMsg:
     voter: str
     votes: Tuple[bool, ...]
     signature: int = 0
+    #: True on the anti-entropy *answer* to a re-broadcast vote; a reply
+    #: must never be answered in turn or two peers ping-pong forever.
+    is_reply: bool = False
 
 
 @dataclass(frozen=True)
@@ -58,6 +61,8 @@ class SyncHashMsg:
     block_number: int
     sender: str
     state_hash: str
+    #: see :attr:`VoteMsg.is_reply`
+    is_reply: bool = False
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,8 @@ class OrderingService(Host):
         self._cut_blocks: List[Block] = []  # retained for catch-up requests
         self.blocks_cut = 0
         self.txs_ordered = 0
+        #: Observer called with each freshly cut block (chaos timelines).
+        self.on_block_cut = None
 
     def set_genesis(self, genesis: Block) -> None:
         """Anchor the chain this orderer extends (before any block is cut)."""
@@ -166,6 +168,8 @@ class OrderingService(Host):
         self._cut_blocks.append(block)
         self.blocks_cut += 1
         self.txs_ordered += len(chosen)
+        if self.on_block_cut is not None:
+            self.on_block_cut(block)
 
         size = block.size_bytes(self.config.tx_bytes, self.config.block_overhead_bytes)
         self.network.scheduler.call_after(

@@ -85,11 +85,25 @@ class Peer(Host):
         self._commit_scheduled: Set[int] = set()
         self._cpu_free_at = 0.0
         self._sync_free_at = 0.0
+        # Process generation: bumped on crash so that callbacks scheduled
+        # by the previous incarnation are dropped instead of resurrecting
+        # state that died with the process.
+        self._generation = 0
+        # Anti-entropy retransmission state (see FabricConfig.anti_entropy_ms).
+        self._retry_timer = None
+        self._retry_attempts = 0
+        self._retry_marker: Tuple[int, int, int] = (0, 0, 0)
         # Catch-up state: blocks below this height were finalised by the
         # rest of the network while we were unreachable; they commit from
         # local (deterministic) execution without a fresh vote round.
         self._catch_up_below = 0
         self._backfill_requested_to = 0
+        # Own per-block attestations, kept after commit so stale vote /
+        # sync-hash messages from a lagging peer can be answered (the
+        # return half of anti-entropy: re-broadcasting alone cannot
+        # rebuild a quorum whose other attestations were dropped).
+        self._vote_history: Dict[int, Tuple[bool, ...]] = {}
+        self._state_hash_history: Dict[int, str] = {}
 
         #: Set when consensus contradicted this peer's own execution —
         #: either the peer is faulty or it is being equivocated against.
@@ -123,6 +137,52 @@ class Peer(Host):
         return self._committed_height
 
     # ------------------------------------------------------------------
+    # crash / restart (chaos churn)
+
+    def crash(self) -> None:
+        """Simulated process crash: the host drops off the network and all
+        volatile state — pending blocks, votes, sync hashes, in-flight CPU
+        work — is lost.  The ledger survives (it is the on-disk part of a
+        real peer).  Call :meth:`restart` to boot again."""
+        self._generation += 1  # orphan every scheduled callback
+        self._pending_blocks.clear()
+        self._executions.clear()
+        self._votes.clear()
+        self._sync_hashes.clear()
+        self._own_hash.clear()
+        self._commit_scheduled.clear()
+        self._executing = False
+        self._cpu_free_at = 0.0
+        self._sync_free_at = 0.0
+        self._catch_up_below = 0
+        self._backfill_requested_to = 0
+        self._retry_timer = None
+        self._retry_attempts = 0
+        # Attestations for committed blocks are derived from the durable
+        # ledger and survive; anything above it died with the process.
+        durable = self.ledger.height - 1
+        self._vote_history = {
+            n: v for n, v in self._vote_history.items() if n <= durable
+        }
+        if self.network is not None:
+            self.network.condition(self.name).down = True
+
+    def restart(self) -> None:
+        """Boot after :meth:`crash`: volatile heights are recomputed from
+        the durable ledger and the host rejoins the network.  Blocks the
+        rest of the network finalised while we were down are recovered by
+        gap detection on the next delivery."""
+        committed = self.ledger.height - 1
+        self._committed_height = committed
+        self._executed_height = committed
+        # Sync attestations for committed-but-unsynced blocks died with
+        # the process; the durable ledger is authoritative for them, the
+        # same trust catch-up extends to blocks finalised network-wide.
+        self._synced_height = committed
+        if self.network is not None:
+            self.network.condition(self.name).down = False
+
+    # ------------------------------------------------------------------
     # CPU model
 
     def _compute(self, cost_ms: float, fn: Callable, *args) -> None:
@@ -131,7 +191,13 @@ class Peer(Host):
         start = max(sched.now, self._cpu_free_at)
         done = start + cost_ms
         self._cpu_free_at = done
-        sched.call_at(done, fn, *args)
+        sched.call_at(done, self._run_if_alive, self._generation, fn, *args)
+
+    def _run_if_alive(self, generation: int, fn: Callable, *args) -> None:
+        """Drop callbacks scheduled before a crash: that work died with
+        the process."""
+        if generation == self._generation:
+            fn(*args)
 
     # ------------------------------------------------------------------
     # message handling
@@ -140,9 +206,9 @@ class Peer(Host):
         if isinstance(payload, DeliverBlock):
             self._on_block(payload.block)
         elif isinstance(payload, VoteMsg):
-            self._compute(self.config.vote_verify_ms, self._on_vote, payload)
+            self._compute(self.config.vote_verify_ms, self._on_vote, src, payload)
         elif isinstance(payload, SyncHashMsg):
-            self._compute(self.config.sync_verify_ms, self._on_sync_hash, payload)
+            self._compute(self.config.sync_verify_ms, self._on_sync_hash, src, payload)
         elif isinstance(payload, QueryTxStatus):
             self._on_query(src, payload)
         else:
@@ -155,8 +221,14 @@ class Peer(Host):
         if block.number <= self._committed_height:
             return  # duplicate delivery
         self._pending_blocks.setdefault(block.number, block)
+        self._retry_attempts = 0  # fresh information restarts the retry budget
         self._detect_gap(block.number)
         self._maybe_execute()
+        # A delivery can unblock the commit of an *older* executed block:
+        # _detect_gap may have just raised _catch_up_below past it, turning
+        # a vote quorum that will never arrive into a catch-up commit.
+        self._try_commit(self._committed_height + 1)
+        self._ensure_anti_entropy()
 
     def _detect_gap(self, delivered: int) -> None:
         """A delivery with *missing predecessors* means we missed
@@ -216,6 +288,7 @@ class Peer(Host):
         self._executing = False
 
         votes = tuple(e.code == TxValidationCode.VALID for e in executions)
+        self._vote_history[block.number] = votes
         self._record_vote(
             VoteMsg(block_number=block.number, voter=self.name, votes=votes)
         )
@@ -223,6 +296,7 @@ class Peer(Host):
         for peer in self._peers:
             self.send(peer, msg, size_bytes=self.config.vote_msg_bytes)
         self._try_commit(block.number)
+        self._ensure_anti_entropy()
 
     def _execute_one(
         self, tx: Transaction, overlay: Dict[str, object], written: Set[str]
@@ -249,7 +323,22 @@ class Peer(Host):
     # ------------------------------------------------------------------
     # stage 1b: vote collection + commit
 
-    def _on_vote(self, msg: VoteMsg) -> None:
+    def _on_vote(self, src: Host, msg: VoteMsg) -> None:
+        if msg.block_number <= self._committed_height:
+            # The sender is behind: it re-broadcast its vote because the
+            # quorum it is waiting for was lost in transit.  Answer with
+            # our recorded vote for that block so the quorum can re-form.
+            own = self._vote_history.get(msg.block_number)
+            if own is not None and not msg.is_reply and msg.voter != self.name:
+                self.send(
+                    src,
+                    VoteMsg(
+                        block_number=msg.block_number, voter=self.name,
+                        votes=own, is_reply=True,
+                    ),
+                    size_bytes=self.config.vote_msg_bytes,
+                )
+            return
         self._record_vote(msg)
         self._try_commit(msg.block_number)
 
@@ -320,6 +409,7 @@ class Peer(Host):
         # transactions in a block" (§6): five single-tx blocks queue for
         # five transfers, one five-tx block pays for one.
         state_hash = self.ledger.state_hash()
+        self._state_hash_history[block.number] = state_hash
         transfer = (
             self.config.sync_base_ms
             + self.config.sync_per_peer_ms * len(self._electorate)
@@ -328,7 +418,10 @@ class Peer(Host):
         start = max(sched.now, self._sync_free_at)
         done = start + transfer
         self._sync_free_at = done
-        sched.call_at(done, self._announce_sync, block.number, state_hash)
+        sched.call_at(
+            done, self._run_if_alive, self._generation,
+            self._announce_sync, block.number, state_hash,
+        )
 
         # Execution of the next block can now proceed.
         self._maybe_execute()
@@ -342,11 +435,26 @@ class Peer(Host):
         for peer in self._peers:
             self.send(peer, msg, size_bytes=self.config.sync_msg_bytes)
         self._try_sync(block_number)
+        self._ensure_anti_entropy()
 
     # ------------------------------------------------------------------
     # stage 2: ledger synchronisation
 
-    def _on_sync_hash(self, msg: SyncHashMsg) -> None:
+    def _on_sync_hash(self, src: Host, msg: SyncHashMsg) -> None:
+        if msg.block_number <= self._synced_height:
+            # Same return half as for votes: a lagging sender needs our
+            # attestation for a height we already left behind.
+            own = self._state_hash_history.get(msg.block_number)
+            if own is not None and not msg.is_reply and msg.sender != self.name:
+                self.send(
+                    src,
+                    SyncHashMsg(
+                        block_number=msg.block_number, sender=self.name,
+                        state_hash=own, is_reply=True,
+                    ),
+                    size_bytes=self.config.sync_msg_bytes,
+                )
+            return
         self._record_sync_hash(msg)
         self._try_sync(msg.block_number)
 
@@ -376,6 +484,83 @@ class Peer(Host):
             if self.on_block_synced is not None:
                 self.on_block_synced(nxt, synced_block)
             nxt = self._synced_height + 1
+
+    # ------------------------------------------------------------------
+    # anti-entropy retransmission
+
+    def _outstanding_work(self) -> bool:
+        """True while consensus work is unfinished at this peer: a block
+        awaiting votes, a sync hash awaiting quorum, or a delivery gap."""
+        return bool(
+            self._pending_blocks
+            or self._own_hash
+            or self._committed_height + 1 < self._catch_up_below
+        )
+
+    def _ensure_anti_entropy(self) -> None:
+        if self.config.anti_entropy_ms <= 0 or not self._outstanding_work():
+            return
+        if self._retry_timer is not None and self._retry_timer.active:
+            return
+        self._retry_timer = self.network.scheduler.call_after(
+            self.config.anti_entropy_ms,
+            self._run_if_alive, self._generation, self._anti_entropy,
+        )
+
+    def _anti_entropy(self) -> None:
+        """Re-broadcast whatever this peer is still waiting on.
+
+        Votes and sync hashes are sent exactly once on the happy path; a
+        dropped copy would otherwise stall consensus forever.  Retries
+        stop after ``anti_entropy_max_retries`` rounds without progress
+        (committed/synced/executed heights all unchanged) so that a dead
+        quorum still lets the simulation quiesce; any fresh delivery
+        resets the budget.
+        """
+        self._retry_timer = None
+        if not self._outstanding_work():
+            self._retry_attempts = 0
+            return
+        marker = (self._committed_height, self._synced_height, self._executed_height)
+        if marker != self._retry_marker:
+            self._retry_marker = marker
+            self._retry_attempts = 0
+        if self._retry_attempts >= self.config.anti_entropy_max_retries:
+            return
+        self._retry_attempts += 1
+
+        # Local re-attempts first: execution or commit may merely be
+        # stalled (e.g. the commit path switched to catch-up after the
+        # last _try_commit ran), needing no network round-trip at all.
+        self._maybe_execute()
+        self._try_commit(self._committed_height + 1)
+
+        nxt = self._committed_height + 1
+        own_votes = self._votes.get(nxt, {}).get(self.name)
+        if own_votes is not None:
+            msg = VoteMsg(block_number=nxt, voter=self.name, votes=own_votes)
+            for peer in self._peers:
+                self.send(peer, msg, size_bytes=self.config.vote_msg_bytes)
+        to_sync = self._synced_height + 1
+        if to_sync <= self._committed_height and to_sync in self._own_hash:
+            msg = SyncHashMsg(
+                block_number=to_sync, sender=self.name,
+                state_hash=self._own_hash[to_sync],
+            )
+            for peer in self._peers:
+                self.send(peer, msg, size_bytes=self.config.sync_msg_bytes)
+        missing = [
+            n
+            for n in range(nxt, self._catch_up_below)
+            if n not in self._pending_blocks and n > self._executed_height
+        ]
+        if missing and self.orderer is not None:
+            self.send(
+                self.orderer,
+                RequestBlocks(from_number=min(missing), to_number=max(missing)),
+                size_bytes=self.config.query_msg_bytes,
+            )
+        self._ensure_anti_entropy()
 
     # ------------------------------------------------------------------
     # client queries

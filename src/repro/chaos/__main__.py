@@ -1,0 +1,119 @@
+"""CLI entry point: ``python -m repro.chaos --seed 42 --scenario churn-partition-ddos``.
+
+Runs one seeded chaos experiment, prints the injected schedule, the
+invariant verdict and the timeline digest.  On failure it automatically
+shrinks the schedule to a minimal failing prefix (unless ``--faults``
+was given — that *is* the replay mode) and prints the replay command.
+Exit status is 0 iff every invariant held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .runner import (
+    BUGGY_FIXTURES,
+    replay_command,
+    run_scenario,
+    shrink_failing_schedule,
+)
+from .scenarios import SCENARIOS, get_scenario
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Seeded chaos testing for the execute-order-validate "
+        "pipeline: fault injection, invariant checking, schedule shrinking.",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="run seed")
+    parser.add_argument(
+        "--scenario", default="churn-partition-ddos",
+        help="scenario name (see --list)",
+    )
+    parser.add_argument(
+        "--faults", type=int, default=None, metavar="K",
+        help="replay only the first K faults of the schedule",
+    )
+    parser.add_argument(
+        "--buggy", default=None, choices=sorted(BUGGY_FIXTURES),
+        help="install an intentionally-buggy peer fixture",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="on failure, skip shrinking to a minimal prefix",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable result on stdout",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            print(f"{name:22s} {scenario.description}")
+        return 0
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as exc:
+        parser.error(str(exc))
+
+    result = run_scenario(
+        scenario, args.seed, max_faults=args.faults, buggy=args.buggy
+    )
+
+    if args.as_json:
+        payload = {
+            "scenario": result.scenario,
+            "seed": result.seed,
+            "buggy": result.buggy,
+            "ok": result.ok,
+            "faults_in_schedule": result.faults_in_schedule,
+            "faults_applied": result.faults_applied,
+            "submitted": result.submitted,
+            "workload_summary": result.workload_summary,
+            "probe_codes": result.probe_codes,
+            "committed_height": result.committed_height,
+            "timeline_digest": result.timeline_digest(),
+            "network_stats": result.network_stats,
+            "violations": [v.describe() for v in result.violations],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"# schedule ({result.faults_in_schedule} faults)")
+        for line in result.schedule.describe():
+            print(f"  {line}")
+        print("# result")
+        for line in result.describe():
+            print(f"  {line}")
+
+    if result.ok:
+        return 0
+
+    if args.faults is None and not args.no_shrink:
+        print("# shrinking failing schedule ...", file=sys.stderr)
+        report = shrink_failing_schedule(
+            scenario, args.seed, buggy=args.buggy, full_result=result
+        )
+        for line in report.describe():
+            print(f"  {line}", file=sys.stderr)
+    else:
+        print(
+            "  replay: "
+            + replay_command(
+                result.scenario, result.seed, faults=args.faults, buggy=args.buggy
+            ),
+            file=sys.stderr,
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,296 @@
+"""Fault timelines: the seeded ``FaultSchedule`` DSL.
+
+A schedule is an ordered, immutable list of :class:`FaultEvent`, each an
+*atomic* injection at an absolute simulated time: crash or restart a
+peer, take the ordering service down (failover), split or heal the
+network, open an auto-expiring message-tampering window (drop /
+duplicate / delay-reorder) or launch a DDoS burst through the paper's
+attack models in :mod:`repro.simnet.ddos`.
+
+Schedules are either built explicitly through the fluent builder
+methods, or drawn reproducibly from a seed with
+:meth:`FaultSchedule.generate`.  Because events are plain data, a
+failing schedule can be *shrunk*: ``schedule.prefix(k)`` keeps only the
+first ``k`` injections, which is what the scenario runner bisects over
+to report a minimal failing fault prefix.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..blockchain.crypto import canonical_digest
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule"]
+
+
+class FaultKind:
+    """The vocabulary of injectable faults."""
+
+    PEER_CRASH = "peer-crash"
+    PEER_RESTART = "peer-restart"
+    ORDERER_CRASH = "orderer-crash"
+    ORDERER_RESTART = "orderer-restart"
+    PARTITION = "partition"
+    HEAL = "heal"
+    MSG_DROP = "msg-drop"
+    MSG_DUPLICATE = "msg-duplicate"
+    MSG_DELAY = "msg-delay"
+    DDOS_LATENCY = "ddos-latency"
+    DDOS_FLOOD = "ddos-flood"
+
+    ALL = (
+        PEER_CRASH,
+        PEER_RESTART,
+        ORDERER_CRASH,
+        ORDERER_RESTART,
+        PARTITION,
+        HEAL,
+        MSG_DROP,
+        MSG_DUPLICATE,
+        MSG_DELAY,
+        DDOS_LATENCY,
+        DDOS_FLOOD,
+    )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One atomic injection.
+
+    ``targets`` are host names ("*" matches every host for message
+    windows); ``params`` is a kind-specific tuple:
+
+    * message windows — ``(duration_ms, rate[, extra_ms])``
+    * ``ddos-latency`` — ``(duration_ms, extra_ms)``
+    * ``ddos-flood`` — ``(duration_ms, drop_rate)``
+    * ``partition`` — ``params`` holds the groups as tuples of names
+    """
+
+    at_ms: float
+    kind: str
+    targets: Tuple[str, ...] = ()
+    params: Tuple = ()
+
+    def describe(self) -> str:
+        who = ",".join(self.targets) if self.targets else "-"
+        args = ",".join(repr(p) for p in self.params)
+        return f"t={self.at_ms:.1f} {self.kind} [{who}] ({args})"
+
+    def as_record(self):
+        return [self.at_ms, self.kind, list(self.targets), _listify(self.params)]
+
+
+def _listify(value):
+    if isinstance(value, (tuple, list)):
+        return [_listify(v) for v in value]
+    return value
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered fault timeline, reproducible from its construction.
+
+    The builder methods append events and return ``self`` so timelines
+    read as sentences::
+
+        FaultSchedule().crash(200, "peer1").partition(500, ["peer0"],
+            ["peer1", "peer2"]).heal(900).restart(1000, "peer1")
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # builder DSL
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        if event.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+        if event.at_ms < 0:
+            raise ValueError("fault time must be non-negative")
+        self.events.append(event)
+        return self
+
+    def crash(self, at_ms: float, peer: str) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, FaultKind.PEER_CRASH, (peer,)))
+
+    def restart(self, at_ms: float, peer: str) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, FaultKind.PEER_RESTART, (peer,)))
+
+    def orderer_crash(self, at_ms: float, orderer: str = "orderer") -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, FaultKind.ORDERER_CRASH, (orderer,)))
+
+    def orderer_restart(self, at_ms: float, orderer: str = "orderer") -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, FaultKind.ORDERER_RESTART, (orderer,)))
+
+    def partition(self, at_ms: float, *groups: Iterable[str]) -> "FaultSchedule":
+        frozen = tuple(tuple(sorted(group)) for group in groups)
+        return self.add(FaultEvent(at_ms, FaultKind.PARTITION, (), frozen))
+
+    def heal(self, at_ms: float) -> "FaultSchedule":
+        return self.add(FaultEvent(at_ms, FaultKind.HEAL))
+
+    def drop(
+        self, at_ms: float, targets: Sequence[str], duration_ms: float, rate: float
+    ) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(at_ms, FaultKind.MSG_DROP, tuple(targets), (duration_ms, rate))
+        )
+
+    def duplicate(
+        self, at_ms: float, targets: Sequence[str], duration_ms: float, rate: float
+    ) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(
+                at_ms, FaultKind.MSG_DUPLICATE, tuple(targets), (duration_ms, rate)
+            )
+        )
+
+    def delay(
+        self,
+        at_ms: float,
+        targets: Sequence[str],
+        duration_ms: float,
+        rate: float,
+        extra_ms: float,
+    ) -> "FaultSchedule":
+        """Delay a fraction of matching messages by ``extra_ms`` — enough
+        to overtake later traffic on the same channel, i.e. a reorder."""
+        return self.add(
+            FaultEvent(
+                at_ms,
+                FaultKind.MSG_DELAY,
+                tuple(targets),
+                (duration_ms, rate, extra_ms),
+            )
+        )
+
+    def ddos_latency(
+        self, at_ms: float, targets: Sequence[str], duration_ms: float, extra_ms: float
+    ) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(
+                at_ms, FaultKind.DDOS_LATENCY, tuple(targets), (duration_ms, extra_ms)
+            )
+        )
+
+    def ddos_flood(
+        self, at_ms: float, targets: Sequence[str], duration_ms: float, rate: float
+    ) -> "FaultSchedule":
+        return self.add(
+            FaultEvent(
+                at_ms, FaultKind.DDOS_FLOOD, tuple(targets), (duration_ms, rate)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # views
+
+    def sorted(self) -> "FaultSchedule":
+        """Events in injection order (stable for equal times)."""
+        ordered = sorted(self.events, key=lambda e: e.at_ms)
+        return FaultSchedule(events=ordered, seed=self.seed)
+
+    def prefix(self, n: int) -> "FaultSchedule":
+        """The first ``n`` injections (in time order) — the shrink step."""
+        return FaultSchedule(events=self.sorted().events[:n], seed=self.seed)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def digest(self) -> str:
+        """Canonical digest of the timeline; equal schedules ⇔ equal digests."""
+        return canonical_digest(
+            {"seed": self.seed, "events": [e.as_record() for e in self.sorted().events]}
+        )
+
+    def describe(self) -> List[str]:
+        return [e.describe() for e in self.sorted().events]
+
+    # ------------------------------------------------------------------
+    # seeded generation
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration_ms: float,
+        peers: Sequence[str],
+        orderer: Optional[str] = None,
+        churn: int = 2,
+        partitions: int = 1,
+        ddos_bursts: int = 1,
+        message_windows: int = 3,
+        orderer_failovers: int = 0,
+    ) -> "FaultSchedule":
+        """Draw a reproducible fault timeline from ``seed``.
+
+        Faults land in the first 70 % of the run so the tail is available
+        for healing and convergence; crash/restart and partition/heal
+        come pre-paired, message windows and DDoS bursts auto-expire.
+        The same ``(seed, arguments)`` always yields the identical
+        schedule — that is the property the determinism tests pin.
+        """
+        rng = random.Random(seed)
+        peers = sorted(peers)
+        schedule = cls(seed=seed)
+        horizon = duration_ms * 0.7
+
+        def when() -> float:
+            return round(rng.uniform(duration_ms * 0.05, horizon), 3)
+
+        for _ in range(churn):
+            victim = rng.choice(peers)
+            start = when()
+            down_for = rng.uniform(duration_ms * 0.05, duration_ms * 0.2)
+            schedule.crash(start, victim)
+            schedule.restart(round(min(start + down_for, horizon + 1.0), 3), victim)
+
+        for _ in range(partitions):
+            start = when()
+            heal_after = rng.uniform(duration_ms * 0.05, duration_ms * 0.2)
+            minority_size = max(1, len(peers) // 3)
+            minority = rng.sample(peers, minority_size)
+            majority = [p for p in peers if p not in minority]
+            if orderer is not None:
+                majority.append(orderer)
+            schedule.partition(start, majority, minority)
+            schedule.heal(round(min(start + heal_after, horizon + 2.0), 3))
+
+        for _ in range(ddos_bursts):
+            start = when()
+            burst = rng.uniform(duration_ms * 0.05, duration_ms * 0.15)
+            n_victims = max(1, (len(peers) - 1) // 3)
+            victims = rng.sample(peers, n_victims)
+            if rng.random() < 0.5:
+                schedule.ddos_latency(start, victims, burst, rng.uniform(100.0, 400.0))
+            else:
+                schedule.ddos_flood(start, victims, burst, rng.uniform(0.3, 0.8))
+
+        for _ in range(message_windows):
+            start = when()
+            window = rng.uniform(duration_ms * 0.03, duration_ms * 0.1)
+            target = rng.choice(list(peers) + ["*"])
+            kind = rng.choice(("drop", "duplicate", "delay"))
+            if kind == "drop":
+                schedule.drop(start, (target,), window, rng.uniform(0.1, 0.5))
+            elif kind == "duplicate":
+                schedule.duplicate(start, (target,), window, rng.uniform(0.2, 0.7))
+            else:
+                schedule.delay(
+                    start, (target,), window, rng.uniform(0.2, 0.6),
+                    rng.uniform(20.0, 120.0),
+                )
+
+        for _ in range(orderer_failovers):
+            if orderer is None:
+                break
+            start = when()
+            down_for = rng.uniform(duration_ms * 0.03, duration_ms * 0.1)
+            schedule.orderer_crash(start, orderer)
+            schedule.orderer_restart(round(min(start + down_for, horizon + 1.0), 3), orderer)
+
+        return schedule.sorted()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .clock import Scheduler
 from .latency import LatencyProfile
@@ -53,6 +53,34 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
+    #: Drops attributed to an active partition (subset of messages_dropped).
+    messages_dropped_partition: int = 0
+    #: Drops decided by an installed fault injector (subset of messages_dropped).
+    messages_dropped_fault: int = 0
+    #: Extra copies scheduled by a fault injector (duplicate fault).
+    messages_duplicated: int = 0
+    #: Messages whose delivery a fault injector moved past its natural time.
+    messages_delayed_fault: int = 0
+    #: Deliveries that overtook an older message on the same (src, dst)
+    #: channel — only fault injection can break the per-channel FIFO.
+    messages_reordered: int = 0
+    partitions_started: int = 0
+    partitions_healed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+            "messages_dropped_partition": self.messages_dropped_partition,
+            "messages_dropped_fault": self.messages_dropped_fault,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_delayed_fault": self.messages_delayed_fault,
+            "messages_reordered": self.messages_reordered,
+            "partitions_started": self.partitions_started,
+            "partitions_healed": self.partitions_healed,
+        }
 
 
 class Network:
@@ -81,9 +109,18 @@ class Network:
         self._conditions: Dict[str, HostCondition] = {}
         self._egress_free_at: Dict[str, float] = {}
         self._channel_clear_at: Dict[tuple, float] = {}
+        self._channel_last_sent_at: Dict[tuple, float] = {}
         #: host -> partition group id; messages between different groups
         #: are dropped while a partition is active (None = no partition).
         self._partition_of: Optional[Dict[str, int]] = None
+        #: Chaos hook: called with each otherwise-deliverable message and
+        #: its natural delivery time; returns the delivery times to use —
+        #: an empty list drops the message, more than one duplicates it.
+        self.fault_injector: Optional[Callable[[Message, float], List[float]]] = None
+        #: Observer for fabric-level events ("partition", "heal"), called
+        #: with the event name and a detail dict.  Chaos timelines and
+        #: monitors subscribe here.
+        self.on_stats_event: Optional[Callable[[str, Dict[str, Any]], None]] = None
 
     # ------------------------------------------------------------------
     # registration
@@ -125,6 +162,7 @@ class Network:
         if self._partition_of is not None:
             if self._partition_of.get(src.name) != self._partition_of.get(dst.name):
                 self.stats.messages_dropped += 1
+                self.stats.messages_dropped_partition += 1
                 return
         if self.profile.loss_rate and self.rng.random() < self.profile.loss_rate:
             self.stats.messages_dropped += 1
@@ -149,6 +187,19 @@ class Network:
         self._channel_clear_at[channel] = deliver_at
 
         msg = Message(src.name, dst.name, payload, size_bytes, now)
+        if self.fault_injector is not None:
+            times = self.fault_injector(msg, deliver_at)
+            if not times:
+                self.stats.messages_dropped += 1
+                self.stats.messages_dropped_fault += 1
+                return
+            if len(times) > 1:
+                self.stats.messages_duplicated += len(times) - 1
+            if max(times) > deliver_at:
+                self.stats.messages_delayed_fault += 1
+            for when in times:
+                self.scheduler.call_at(max(when, now), self._deliver, dst, src, msg)
+            return
         self.scheduler.call_at(deliver_at, self._deliver, dst, src, msg)
 
     def _deliver(self, dst: Host, src: Host, msg: Message) -> None:
@@ -156,6 +207,12 @@ class Network:
         if self._conditions[dst.name].down:
             self.stats.messages_dropped += 1
             return
+        channel = (msg.src, msg.dst)
+        last = self._channel_last_sent_at.get(channel)
+        if last is not None and msg.sent_at < last:
+            self.stats.messages_reordered += 1
+        else:
+            self._channel_last_sent_at[channel] = msg.sent_at
         self.stats.messages_delivered += 1
         dst.handle_message(src, msg.payload)
 
@@ -171,10 +228,23 @@ class Network:
             for name in group:
                 mapping[name] = index
         self._partition_of = mapping
+        self.stats.partitions_started += 1
+        self._emit("partition", {
+            "t": self.scheduler.now,
+            "groups": [sorted(group) for group in groups],
+        })
 
     def heal(self) -> None:
         """Remove an active partition."""
+        was_active = self._partition_of is not None
         self._partition_of = None
+        if was_active:
+            self.stats.partitions_healed += 1
+            self._emit("heal", {"t": self.scheduler.now})
+
+    def _emit(self, event: str, detail: Dict[str, Any]) -> None:
+        if self.on_stats_event is not None:
+            self.on_stats_event(event, detail)
 
     @property
     def partitioned(self) -> bool:

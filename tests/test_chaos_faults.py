@@ -1,0 +1,111 @@
+"""Unit tests for the FaultSchedule DSL and seeded generation."""
+
+import pytest
+
+from repro.chaos import FaultEvent, FaultKind, FaultSchedule
+
+PEERS = ["peer0", "peer1", "peer2", "peer3"]
+
+
+class TestBuilder:
+    def test_fluent_builders_append_events(self):
+        s = (
+            FaultSchedule()
+            .crash(200.0, "peer1")
+            .partition(500.0, ["peer0"], ["peer1", "peer2"])
+            .heal(900.0)
+            .restart(1000.0, "peer1")
+        )
+        assert len(s) == 4
+        kinds = [e.kind for e in s.sorted().events]
+        assert kinds == [
+            FaultKind.PEER_CRASH,
+            FaultKind.PARTITION,
+            FaultKind.HEAL,
+            FaultKind.PEER_RESTART,
+        ]
+
+    def test_sorted_orders_by_time(self):
+        s = FaultSchedule().heal(900.0).crash(100.0, "peer0")
+        assert [e.at_ms for e in s.sorted().events] == [100.0, 900.0]
+
+    def test_prefix_keeps_first_k_in_time_order(self):
+        s = FaultSchedule().heal(900.0).crash(100.0, "peer0").restart(500.0, "peer0")
+        p = s.prefix(2)
+        assert [e.kind for e in p.events] == [
+            FaultKind.PEER_CRASH,
+            FaultKind.PEER_RESTART,
+        ]
+        assert len(s.prefix(0)) == 0
+        assert len(s.prefix(99)) == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().add(FaultEvent(1.0, "meteor-strike"))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule().crash(-1.0, "peer0")
+
+    def test_partition_groups_survive_roundtrip(self):
+        s = FaultSchedule().partition(10.0, ["peer1", "peer0"], ["peer2"])
+        (event,) = s.events
+        assert event.params == (("peer0", "peer1"), ("peer2",))
+
+    def test_message_window_params(self):
+        s = FaultSchedule().delay(5.0, ["peer0"], 100.0, 0.5, 30.0)
+        (event,) = s.events
+        assert event.kind == FaultKind.MSG_DELAY
+        assert event.params == (100.0, 0.5, 30.0)
+
+
+class TestDigest:
+    def test_equal_schedules_equal_digests(self):
+        a = FaultSchedule(seed=3).crash(1.0, "peer0").heal(2.0)
+        b = FaultSchedule(seed=3).heal(2.0).crash(1.0, "peer0")
+        assert a.digest() == b.digest()  # digest is over the sorted view
+
+    def test_digest_depends_on_events_and_seed(self):
+        a = FaultSchedule(seed=3).crash(1.0, "peer0")
+        assert a.digest() != FaultSchedule(seed=3).crash(1.5, "peer0").digest()
+        assert a.digest() != FaultSchedule(seed=4).crash(1.0, "peer0").digest()
+
+
+class TestGenerate:
+    def test_same_seed_same_schedule(self):
+        a = FaultSchedule.generate(42, 10_000.0, PEERS, orderer="orderer")
+        b = FaultSchedule.generate(42, 10_000.0, PEERS, orderer="orderer")
+        assert a.digest() == b.digest()
+        assert [e.as_record() for e in a.events] == [e.as_record() for e in b.events]
+
+    def test_different_seed_different_schedule(self):
+        a = FaultSchedule.generate(42, 10_000.0, PEERS)
+        b = FaultSchedule.generate(43, 10_000.0, PEERS)
+        assert a.digest() != b.digest()
+
+    def test_crash_and_restart_come_paired(self):
+        s = FaultSchedule.generate(7, 10_000.0, PEERS, churn=3,
+                                   partitions=0, ddos_bursts=0, message_windows=0)
+        crashes = [e for e in s.events if e.kind == FaultKind.PEER_CRASH]
+        restarts = [e for e in s.events if e.kind == FaultKind.PEER_RESTART]
+        assert len(crashes) == len(restarts) == 3
+        for crash in crashes:
+            mates = [r for r in restarts if r.targets == crash.targets
+                     and r.at_ms > crash.at_ms]
+            assert mates, f"no restart for {crash.describe()}"
+
+    def test_partition_keeps_orderer_with_majority(self):
+        for seed in range(5):
+            s = FaultSchedule.generate(seed, 10_000.0, PEERS, orderer="orderer",
+                                       churn=0, partitions=1, ddos_bursts=0,
+                                       message_windows=0)
+            (part,) = [e for e in s.events if e.kind == FaultKind.PARTITION]
+            majority, minority = part.params
+            assert "orderer" in majority
+            assert len(majority) > len(minority)
+
+    def test_faults_land_inside_the_run(self):
+        s = FaultSchedule.generate(11, 10_000.0, PEERS, orderer="orderer",
+                                   churn=2, partitions=1, ddos_bursts=1,
+                                   message_windows=3, orderer_failovers=1)
+        assert all(0.0 <= e.at_ms <= 10_000.0 for e in s.events)

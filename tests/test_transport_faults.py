@@ -1,0 +1,127 @@
+"""Transport-level fault hooks: injector callback, stats counters and
+partition/heal stats events (PR satellite for ``simnet.transport``)."""
+
+from repro.simnet import LAN_1GBPS, Host, Network, Region
+
+
+class Recorder(Host):
+    def __init__(self, name, region=Region.LAN):
+        super().__init__(name, region)
+        self.received = []
+
+    def handle_message(self, src, payload):
+        self.received.append((self.network.now, src.name, payload))
+
+
+def make_net(n=3, seed=0):
+    net = Network(profile=LAN_1GBPS, seed=seed)
+    hosts = [net.register(Recorder(f"h{i}")) for i in range(n)]
+    return net, hosts
+
+
+class TestFaultInjectorHook:
+    def test_empty_times_drops_message(self):
+        net, (a, b, _) = make_net()
+        net.fault_injector = lambda msg, deliver_at: []
+        a.send(b, "gone")
+        net.run_until_idle()
+        assert b.received == []
+        assert net.stats.messages_dropped_fault == 1
+        assert net.stats.messages_dropped == 1
+
+    def test_multiple_times_duplicate_message(self):
+        net, (a, b, _) = make_net()
+        net.fault_injector = lambda msg, deliver_at: [deliver_at, deliver_at + 5.0]
+        a.send(b, "twice")
+        net.run_until_idle()
+        assert [p for (_, _, p) in b.received] == ["twice", "twice"]
+        assert net.stats.messages_duplicated == 1
+        assert net.stats.messages_delivered == 2
+
+    def test_later_time_delays_message(self):
+        net, (a, b, _) = make_net()
+        a.send(b, "baseline")
+        net.run_until_idle()
+        base = b.received[0][0]
+
+        net2, (a2, b2, _) = make_net()
+        net2.fault_injector = lambda msg, deliver_at: [deliver_at + 50.0]
+        a2.send(b2, "late")
+        net2.run_until_idle()
+        assert b2.received[0][0] >= base + 50.0
+        assert net2.stats.messages_delayed_fault == 1
+
+    def test_injected_delay_counts_reorder(self):
+        net, (a, b, _) = make_net()
+        first = [True]
+
+        def delay_first(msg, deliver_at):
+            if first[0]:
+                first[0] = False
+                return [deliver_at + 50.0]
+            return [deliver_at]
+
+        net.fault_injector = delay_first
+        a.send(b, "one")  # delayed past "two"
+        net.run(until=1.0)  # "two" is sent strictly later than "one"
+        a.send(b, "two")
+        net.run_until_idle()
+        assert [p for (_, _, p) in b.received] == ["two", "one"]
+        assert net.stats.messages_reordered == 1
+
+    def test_no_injector_means_no_fault_counters(self):
+        net, (a, b, _) = make_net()
+        a.send(b, "clean")
+        net.run_until_idle()
+        assert net.stats.messages_dropped_fault == 0
+        assert net.stats.messages_duplicated == 0
+        assert net.stats.messages_delayed_fault == 0
+
+
+class TestPartitionStats:
+    def test_partition_and_heal_emit_stats_events(self):
+        net, (a, b, c) = make_net()
+        events = []
+        net.on_stats_event = lambda kind, detail: events.append((kind, detail))
+        net.partition(["h0"], ["h1", "h2"])
+        net.heal()
+        kinds = [k for k, _ in events]
+        assert kinds == ["partition", "heal"]
+        assert events[0][1]["groups"] == [["h0"], ["h1", "h2"]]
+        assert net.stats.partitions_started == 1
+        assert net.stats.partitions_healed == 1
+
+    def test_cross_partition_sends_counted_as_partition_drops(self):
+        net, (a, b, c) = make_net()
+        net.partition(["h0"], ["h1", "h2"])
+        a.send(b, "blocked")
+        b.send(c, "same-side")
+        net.run_until_idle()
+        assert b.received == []
+        assert len(c.received) == 1
+        assert net.stats.messages_dropped_partition == 1
+        net.heal()
+        a.send(b, "open-again")
+        net.run_until_idle()
+        assert len(b.received) == 1
+        assert net.stats.messages_dropped_partition == 1
+
+    def test_stats_as_dict_has_all_counters(self):
+        net, (a, b, _) = make_net()
+        a.send(b, "x")
+        net.run_until_idle()
+        d = net.stats.as_dict()
+        for key in (
+            "messages_sent",
+            "messages_delivered",
+            "messages_dropped",
+            "messages_dropped_partition",
+            "messages_dropped_fault",
+            "messages_duplicated",
+            "messages_delayed_fault",
+            "messages_reordered",
+            "partitions_started",
+            "partitions_healed",
+        ):
+            assert key in d
+        assert d["messages_sent"] == 1
