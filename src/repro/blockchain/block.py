@@ -24,8 +24,14 @@ class BlockHeader:
     data_hash: str
     timestamp: float
 
-    def digest(self) -> str:
-        return canonical_digest(
+    def digest(self, fresh: bool = False) -> str:
+        """Block hash; memoised on the frozen header (``fresh=True``
+        recomputes — the path integrity audits rely on)."""
+        if not fresh:
+            cached = getattr(self, "_digest_memo", None)
+            if cached is not None:
+                return cached
+        digest = canonical_digest(
             {
                 "number": self.number,
                 "previous_hash": self.previous_hash,
@@ -33,6 +39,9 @@ class BlockHeader:
                 "timestamp": self.timestamp,
             }
         )
+        if not fresh:
+            object.__setattr__(self, "_digest_memo", digest)
+        return digest
 
 
 @dataclass
@@ -49,12 +58,24 @@ class Block:
     def number(self) -> int:
         return self.header.number
 
-    def digest(self) -> str:
-        return self.header.digest()
+    def digest(self, fresh: bool = False) -> str:
+        return self.header.digest(fresh=fresh)
 
-    def data_digest(self) -> str:
-        """Merkle root over the block's transaction digests."""
-        return merkle_root([tx.digest() for tx in self.transactions])
+    def data_digest(self, fresh: bool = False) -> str:
+        """Merkle root over the block's transaction digests.
+
+        Memoised: every peer receiving the same gossiped block would
+        otherwise recompute the identical Merkle tree.  ``fresh=True``
+        recomputes from the live transaction list (chain audits).
+        """
+        if not fresh:
+            cached = getattr(self, "_data_digest_memo", None)
+            if cached is not None:
+                return cached
+        digest = merkle_root([tx.digest(fresh=fresh) for tx in self.transactions])
+        if not fresh:
+            self._data_digest_memo = digest
+        return digest
 
     def size_bytes(self, tx_bytes: int, overhead_bytes: int) -> int:
         """Wire size estimate used by the simulated transport."""
@@ -75,7 +96,9 @@ def make_block(
         data_hash=data_hash,
         timestamp=timestamp,
     )
-    return Block(header=header, transactions=transactions)
+    block = Block(header=header, transactions=transactions)
+    block._data_digest_memo = data_hash  # just computed it
+    return block
 
 
 def make_genesis_block(config: Dict) -> Block:

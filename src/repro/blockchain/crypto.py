@@ -42,10 +42,27 @@ def sha256_hex(data) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+def _reject_non_native(obj: Any) -> Any:
+    """Refuse to digest objects json cannot represent natively.
+
+    The previous ``default=str`` fallback silently collided distinct
+    objects (two dataclasses with equal ``str()`` digested equally) and
+    made digests depend on ``repr`` stability.  Anything hashed into the
+    chain must be explicitly reduced to JSON-native types first.
+    """
+    raise TypeError(
+        f"canonical_digest: {type(obj).__name__} is not JSON-native; convert "
+        "it explicitly (e.g. to_dict()/list) before hashing"
+    )
+
+
 def canonical_digest(obj: Any) -> str:
-    """Digest of an arbitrary JSON-representable object, with sorted keys so
-    logically equal objects hash equally."""
-    return sha256_hex(json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str))
+    """Digest of a JSON-native object tree, with sorted keys so logically
+    equal objects hash equally.  Raises ``TypeError`` on non-native types
+    (no silent ``str()`` fallback)."""
+    return sha256_hex(
+        json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_reject_non_native)
+    )
 
 
 def merkle_root(leaves: Sequence[str]) -> str:
@@ -100,6 +117,16 @@ def _random_prime(bits: int, rng: random.Random) -> int:
             return candidate
 
 
+#: Process-wide memo of verification verdicts keyed by
+#: ``(n, e, message, signature)``.  In the simulator every peer is handed
+#: the *same* gossiped transaction/certificate objects, so N peers
+#: re-checking one signature would otherwise each pay the modexp; the
+#: verdict is a pure function of the key material, message and signature,
+#: so caching cannot change any result.  Bounded: cleared when full.
+_VERIFY_CACHE: dict = {}
+_VERIFY_CACHE_MAX = 1 << 17
+
+
 @dataclass(frozen=True)
 class PublicKey:
     """RSA public key ``(n, e)``."""
@@ -108,7 +135,27 @@ class PublicKey:
     e: int
 
     def verify(self, message, signature: int) -> bool:
-        """True iff ``signature`` is a valid RSA signature over ``message``."""
+        """True iff ``signature`` is a valid RSA signature over ``message``.
+
+        Verdicts are memoised process-wide (see :data:`_VERIFY_CACHE`);
+        :meth:`verify_uncached` bypasses the memo for audit paths.
+        """
+        if not isinstance(signature, int) or not 0 < signature < self.n:
+            return False
+        try:
+            key = (self.n, self.e, message, signature)
+            cached = _VERIFY_CACHE.get(key)
+        except TypeError:  # unhashable message (e.g. bytearray)
+            return self.verify_uncached(message, signature)
+        if cached is None:
+            cached = self.verify_uncached(message, signature)
+            if len(_VERIFY_CACHE) >= _VERIFY_CACHE_MAX:
+                _VERIFY_CACHE.clear()
+            _VERIFY_CACHE[key] = cached
+        return cached
+
+    def verify_uncached(self, message, signature: int) -> bool:
+        """The real asymmetric check, no memoisation."""
         if not isinstance(signature, int) or not 0 < signature < self.n:
             return False
         h = int(sha256_hex(message), 16) % self.n

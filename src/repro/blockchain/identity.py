@@ -28,9 +28,14 @@ class Certificate:
     serial: int
     signature: int
 
-    def tbs(self) -> str:
-        """The to-be-signed content digest."""
-        return canonical_digest(
+    def tbs(self, fresh: bool = False) -> str:
+        """The to-be-signed content digest (memoised on the frozen
+        certificate; ``fresh=True`` recomputes for audit paths)."""
+        if not fresh:
+            cached = getattr(self, "_tbs_memo", None)
+            if cached is not None:
+                return cached
+        digest = canonical_digest(
             {
                 "subject": self.subject,
                 "public_key": self.public_key.to_dict(),
@@ -38,6 +43,9 @@ class Certificate:
                 "serial": self.serial,
             }
         )
+        if not fresh:
+            object.__setattr__(self, "_tbs_memo", digest)
+        return digest
 
 
 @dataclass

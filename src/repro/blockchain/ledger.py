@@ -156,11 +156,17 @@ class Ledger:
     # integrity
 
     def validate_chain(self) -> bool:
-        """Recompute every hash link; False if any block was tampered with."""
+        """Recompute every hash link; False if any block was tampered with.
+
+        Uses the ``fresh`` (non-memoised) digest paths throughout: the
+        whole point of this walk is to detect objects mutated in place
+        after their digests were first computed, so cached digests must
+        not be trusted here.
+        """
         for i in range(1, len(self._blocks)):
             block = self._blocks[i]
-            if block.header.previous_hash != self._blocks[i - 1].digest():
+            if block.header.previous_hash != self._blocks[i - 1].digest(fresh=True):
                 return False
-            if block.data_digest() != block.header.data_hash:
+            if block.data_digest(fresh=True) != block.header.data_hash:
                 return False
         return True

@@ -42,6 +42,7 @@ from .messages import (
     VoteMsg,
 )
 from .policy import ConsensusPolicy
+from .state import WorldStateOverlay
 from .transaction import Transaction, TxValidationCode
 
 __all__ = ["Peer"]
@@ -188,10 +189,12 @@ class Peer(Host):
     def _compute(self, cost_ms: float, fn: Callable, *args) -> None:
         """Run ``fn`` after ``cost_ms`` of serialised CPU time."""
         sched = self.network.scheduler
-        start = max(sched.now, self._cpu_free_at)
+        start = sched._now
+        if self._cpu_free_at > start:
+            start = self._cpu_free_at
         done = start + cost_ms
         self._cpu_free_at = done
-        sched.call_at(done, self._run_if_alive, self._generation, fn, *args)
+        sched.call_at_anon(done, self._run_if_alive, self._generation, fn, *args)
 
     def _run_if_alive(self, generation: int, fn: Callable, *args) -> None:
         """Drop callbacks scheduled before a crash: that work died with
@@ -203,13 +206,17 @@ class Peer(Host):
     # message handling
 
     def handle_message(self, src: Host, payload) -> None:
-        if isinstance(payload, DeliverBlock):
-            self._on_block(payload.block)
-        elif isinstance(payload, VoteMsg):
+        # Exact-type dispatch ordered by frequency: at N peers the vote
+        # and sync-hash gossip is O(N²) per block while deliveries are
+        # O(N) — the two hot arms go first.
+        kind = type(payload)
+        if kind is VoteMsg:
             self._compute(self.config.vote_verify_ms, self._on_vote, src, payload)
-        elif isinstance(payload, SyncHashMsg):
+        elif kind is SyncHashMsg:
             self._compute(self.config.sync_verify_ms, self._on_sync_hash, src, payload)
-        elif isinstance(payload, QueryTxStatus):
+        elif kind is DeliverBlock:
+            self._on_block(payload.block)
+        elif kind is QueryTxStatus:
             self._on_query(src, payload)
         else:
             raise TypeError(f"peer cannot handle {type(payload).__name__}")
@@ -274,14 +281,18 @@ class Peer(Host):
 
     def _finish_execute(self, block: Block) -> None:
         executions: List[TxExecution] = []
-        overlay: Dict[str, object] = {}
+        # Speculative copy-on-write view: earlier in-block writes are
+        # visible to later transactions at their *committed* versions
+        # (Fabric's execution-stage read semantics) without cloning or
+        # touching the real state.
+        overlay = self.ledger.state.overlay()
         written: Set[str] = set()
         for tx in block.transactions:
             execution = self._execute_one(tx, overlay, written)
             executions.append(execution)
             if execution.code == TxValidationCode.VALID:
                 for key, value in execution.rwset.writes:
-                    overlay[key] = value
+                    overlay.put_speculative(key, value)
                     written.add(key)
         self._executions[block.number] = executions
         self._executed_height = block.number
@@ -293,13 +304,14 @@ class Peer(Host):
             VoteMsg(block_number=block.number, voter=self.name, votes=votes)
         )
         msg = VoteMsg(block_number=block.number, voter=self.name, votes=votes)
+        size = self.config.vote_msg_bytes
         for peer in self._peers:
-            self.send(peer, msg, size_bytes=self.config.vote_msg_bytes)
+            self.send(peer, msg, size_bytes=size)
         self._try_commit(block.number)
         self._ensure_anti_entropy()
 
     def _execute_one(
-        self, tx: Transaction, overlay: Dict[str, object], written: Set[str]
+        self, tx: Transaction, overlay: "WorldStateOverlay", written: Set[str]
     ) -> TxExecution:
         if self.config.verify_signatures:
             if not self.msp.validate(tx.certificate):
@@ -347,7 +359,10 @@ class Peer(Host):
             return  # not part of this game session
         if msg.block_number <= self._committed_height:
             return  # already committed; late vote
-        self._votes.setdefault(msg.block_number, {})[msg.voter] = msg.votes
+        by_peer = self._votes.get(msg.block_number)
+        if by_peer is None:
+            by_peer = self._votes[msg.block_number] = {}
+        by_peer[msg.voter] = msg.votes
 
     def _try_commit(self, block_number: int) -> None:
         nxt = self._committed_height + 1
@@ -370,15 +385,31 @@ class Peer(Host):
             total = len(self._electorate)
             votes_by_peer = self._votes.get(nxt, {})
             decisions = []
-            for i in range(len(block.transactions)):
-                per_tx = {
-                    voter: votes[i]
-                    for voter, votes in votes_by_peer.items()
-                    if i < len(votes)
-                }
-                decisions.append(
-                    self.policy.decided(per_tx, total, all_voters=self._electorate)
-                )
+            if self.policy.is_simple_majority:
+                # Count-based fast path: voters are already filtered to
+                # the electorate by _record_vote, so tallying yes/cast is
+                # equivalent to building the per-tx vote dict — and this
+                # runs once per vote received per pending transaction.
+                vote_tuples = list(votes_by_peer.values())
+                for i in range(len(block.transactions)):
+                    yes = 0
+                    cast = 0
+                    for votes in vote_tuples:
+                        if i < len(votes):
+                            cast += 1
+                            if votes[i]:
+                                yes += 1
+                    decisions.append(self.policy.decided_counts(yes, cast, total))
+            else:
+                for i in range(len(block.transactions)):
+                    per_tx = {
+                        voter: votes[i]
+                        for voter, votes in votes_by_peer.items()
+                        if i < len(votes)
+                    }
+                    decisions.append(
+                        self.policy.decided(per_tx, total, all_voters=self._electorate)
+                    )
             if any(d is None for d in decisions):
                 return  # consensus still open for some transaction
 
@@ -418,7 +449,7 @@ class Peer(Host):
         start = max(sched.now, self._sync_free_at)
         done = start + transfer
         self._sync_free_at = done
-        sched.call_at(
+        sched.call_at_anon(
             done, self._run_if_alive, self._generation,
             self._announce_sync, block.number, state_hash,
         )
@@ -432,8 +463,9 @@ class Peer(Host):
             block_number=block_number, sender=self.name, state_hash=state_hash
         )
         self._record_sync_hash(msg)
+        size = self.config.sync_msg_bytes
         for peer in self._peers:
-            self.send(peer, msg, size_bytes=self.config.sync_msg_bytes)
+            self.send(peer, msg, size_bytes=size)
         self._try_sync(block_number)
         self._ensure_anti_entropy()
 
@@ -463,7 +495,10 @@ class Peer(Host):
             return
         if msg.block_number <= self._synced_height:
             return  # already synchronised; late hash
-        self._sync_hashes.setdefault(msg.block_number, {})[msg.sender] = msg.state_hash
+        by_sender = self._sync_hashes.get(msg.block_number)
+        if by_sender is None:
+            by_sender = self._sync_hashes[msg.block_number] = {}
+        by_sender[msg.sender] = msg.state_hash
 
     def _try_sync(self, block_number: int) -> None:
         nxt = self._synced_height + 1

@@ -242,6 +242,17 @@ class ConsensusPolicy:
         atoms; ``peer(name)`` atoms need the real electorate).
         """
         if all_voters is None:
+            n_missing = max(total - len(votes), 0)
+        else:
+            n_missing = sum(1 for v in all_voters if v not in votes)
+        if type(self._root) is _Majority:
+            # Fast path for the default policy (the overwhelmingly common
+            # case, evaluated once per vote per tx per peer): counting is
+            # enough — no need to materialise optimistic/pessimistic vote
+            # dicts and re-walk the tree twice.
+            yes = sum(1 for v in votes.values() if v)
+            return self.decided_counts(yes, len(votes), total)
+        if all_voters is None:
             missing = [f"_absent{i}" for i in range(total - len(votes))]
         else:
             missing = [v for v in all_voters if v not in votes]
@@ -255,6 +266,24 @@ class ConsensusPolicy:
         if hi == lo:
             return hi
         return None
+
+    @property
+    def is_simple_majority(self) -> bool:
+        """True iff the compiled policy is exactly ``majority`` — the
+        shape :meth:`decided_counts` can finalise from vote counts alone
+        (callers on the hot path use this to skip building vote dicts)."""
+        return type(self._root) is _Majority
+
+    def decided_counts(self, yes: int, cast: int, total: int) -> Optional[bool]:
+        """Count-based :meth:`decided` for the plain-majority policy:
+        ``yes`` of ``cast`` votes received, out of ``total`` electors.
+        Only meaningful when :attr:`is_simple_majority` is true."""
+        n_missing = total - cast
+        if n_missing > 0:
+            hi = (yes + n_missing) * 2 > total
+            lo = yes * 2 > total
+            return hi if hi == lo else None
+        return yes * 2 > total
 
     def describe(self) -> str:
         return self._root.describe()

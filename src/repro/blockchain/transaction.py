@@ -81,8 +81,20 @@ class Proposal:
     timestamp: float
     touched_keys: Tuple[str, ...] = ()
 
-    def digest(self) -> str:
-        return canonical_digest(
+    def digest(self, fresh: bool = False) -> str:
+        """Canonical digest of the proposal.
+
+        Memoised on the (frozen) object: in-process, every peer receives
+        the *same* gossiped proposal object and the digest is pure, so N
+        peers pay the JSON+SHA cost once.  Integrity auditing passes
+        ``fresh=True`` to recompute from the current field values (the
+        path that catches a tampered-in-place object).
+        """
+        if not fresh:
+            cached = getattr(self, "_digest_memo", None)
+            if cached is not None:
+                return cached
+        digest = canonical_digest(
             {
                 "tx_id": self.tx_id,
                 "contract": self.contract,
@@ -93,6 +105,9 @@ class Proposal:
                 "timestamp": self.timestamp,
             }
         )
+        if not fresh:
+            object.__setattr__(self, "_digest_memo", digest)
+        return digest
 
 
 ReadSet = List[Tuple[str, Optional[Tuple[int, int]]]]
@@ -131,13 +146,35 @@ class Transaction:
     def tx_id(self) -> str:
         return self.proposal.tx_id
 
-    def digest(self) -> str:
-        return canonical_digest(
-            {"proposal": self.proposal.digest(), "creator": self.certificate.subject}
+    def digest(self, fresh: bool = False) -> str:
+        if not fresh:
+            cached = getattr(self, "_digest_memo", None)
+            if cached is not None:
+                return cached
+        digest = canonical_digest(
+            {
+                "proposal": self.proposal.digest(fresh=fresh),
+                "creator": self.certificate.subject,
+            }
         )
+        if not fresh:
+            self._digest_memo = digest
+        return digest
 
     def verify_signature(self) -> bool:
-        return self.certificate.public_key.verify(self.proposal.digest(), self.signature)
+        """True iff the creator's signature covers the proposal.
+
+        The verdict is memoised on the transaction (and the underlying
+        modexp process-wide, see ``crypto._VERIFY_CACHE``): all peers
+        validating the same gossiped transaction pay the cost once.
+        """
+        cached = getattr(self, "_sig_memo", None)
+        if cached is None:
+            cached = self.certificate.public_key.verify(
+                self.proposal.digest(), self.signature
+            )
+            self._sig_memo = cached
+        return cached
 
 
 @dataclass

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..blockchain.state import Version, WorldState
 from ..blockchain.transaction import TxValidationCode
 from ..game.assets import ASSETS
 from ..game.monopoly import BOARD_SIZE, GO_SALARY, STARTING_CURRENCY
@@ -235,7 +236,9 @@ class InvariantMonitor:
         self.on_commit = on_commit
         self.violations: List[Violation] = []
         self.commits_checked = 0
-        self._shadow: Dict[str, Dict[str, Tuple[int, int]]] = {}
+        #: Per-peer shadow ledger: a version-only :class:`WorldState`
+        #: replayed independently of the implementation under test.
+        self._shadow: Dict[str, WorldState] = {}
         self._block_digest_at: Dict[int, str] = {}
         self._state_hash_at: Dict[int, str] = {}
         self._attached = False
@@ -247,7 +250,7 @@ class InvariantMonitor:
             raise RuntimeError("monitor already attached")
         self._attached = True
         for peer in self.chain.peers:
-            self._shadow[peer.name] = {}
+            self._shadow[peer.name] = WorldState()
             peer.ledger.on_append = self._make_hook(peer)
         return self
 
@@ -283,27 +286,35 @@ class InvariantMonitor:
             )
 
         # 2. MVCC serializability against an independently replayed
-        #    shadow version map.
-        shadow = self._shadow.setdefault(name, {})
+        #    shadow ledger: a version-only WorldState per peer, with the
+        #    current block's writes staged in a copy-on-write overlay so
+        #    the read checks witness the pre-block committed versions.
+        shadow = self._shadow.setdefault(name, WorldState())
+        overlay = shadow.overlay()
         written: Dict[str, int] = {}
         for index, (execution, code) in enumerate(zip(executions, codes)):
             if code != TxValidationCode.VALID:
                 continue
             for key, observed in execution.rwset.reads:
-                if key in written:
+                if overlay.has_local(key):
                     self._record(
                         "mvcc", name,
                         f"block {block.number} tx {index} read {key!r} written by "
                         f"tx {written[key]} of the same block",
                     )
-                elif shadow.get(key) != observed:
-                    self._record(
-                        "mvcc", name,
-                        f"block {block.number} tx {index} read {key!r} at version "
-                        f"{observed}, shadow ledger says {shadow.get(key)}",
+                else:
+                    committed = shadow.version_of(key)
+                    committed_t = (
+                        committed.to_tuple() if committed is not None else None
                     )
+                    if committed_t != observed:
+                        self._record(
+                            "mvcc", name,
+                            f"block {block.number} tx {index} read {key!r} at "
+                            f"version {observed}, shadow ledger says {committed_t}",
+                        )
             for key, _ in execution.rwset.writes:
-                if key in written:
+                if overlay.has_local(key):
                     self._record(
                         "mvcc", name,
                         f"block {block.number} tx {index} rewrote {key!r} already "
@@ -313,7 +324,8 @@ class InvariantMonitor:
             # after it: the read checks above must see the pre-tx view.
             for key, _ in execution.rwset.writes:
                 written.setdefault(key, index)
-                shadow[key] = (block.number, index)
+                overlay.put(key, None, Version(block.number, index))
+        overlay.commit_to_base()
 
         # 3. state-hash agreement at equal heights.
         state_hash = None

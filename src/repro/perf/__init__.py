@@ -1,0 +1,42 @@
+"""Wall-clock performance harness for the simulation engine.
+
+Everything else in this repository measures *simulated* milliseconds;
+this package measures *host* milliseconds — how fast the engine itself
+runs the execute-order-validate pipeline.  The north star (ROADMAP) is
+"as fast as the hardware allows": scaling the paper's evaluation past
+32-64 peers is gated on host CPU, not on simulated latency.
+
+Three calibrated workloads exercise the hot paths:
+
+* ``block-validation`` — signature verification + contract execution +
+  commit for batches of transactions at one peer (the per-peer CPU the
+  paper's Fig. 3c attributes validation latency to);
+* ``sync-round`` — world-state hashing under a write stream (the ledger
+  synchronisation stage: every peer hashes its state after every
+  commit);
+* ``replay-<n>p`` — a full session replay (prefix of the paper's
+  session #9, its longest trace) through the real shim + simnet stack
+  at 4/16/32 peers.
+
+``python -m repro.perf`` runs them, attributes time with cProfile, and
+emits ``BENCH_engine.json``.  A checked-in baseline plus a
+machine-speed calibration loop makes the CI smoke job
+(``--check``) robust to runner hardware differences.
+"""
+
+from .workloads import (
+    WORKLOADS,
+    Workload,
+    WorkloadResult,
+    calibration_ms,
+)
+from .runner import run_suite, check_against_baseline
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "WorkloadResult",
+    "calibration_ms",
+    "run_suite",
+    "check_against_baseline",
+]

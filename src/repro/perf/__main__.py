@@ -1,0 +1,91 @@
+"""CLI: ``python -m repro.perf``.
+
+Examples::
+
+    python -m repro.perf --quick                    # CI smoke sizes
+    python -m repro.perf --out BENCH_engine.json    # full suite
+    python -m repro.perf --quick --check benchmarks/BENCH_engine_baseline.json
+    python -m repro.perf --only replay-32p --profile
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .runner import check_against_baseline, dump_json, load_json, run_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Wall-clock performance harness for the simulation engine.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload sizes (CI smoke; seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--only", nargs="+", metavar="NAME",
+        help="run only the named workloads (e.g. replay-32p sync-round)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also cProfile the replay workload and record top hotspots",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="compare against a baseline JSON; exit 1 on >tolerance regression "
+        "or any simulated-metric divergence",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed normalized-time regression vs baseline (default: 0.25)",
+    )
+    parser.add_argument(
+        "--baseline-of", metavar="BASELINE",
+        help="embed this baseline run in the output and report the speedup",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_suite(quick=args.quick, profile=args.profile, only=args.only)
+
+    if args.baseline_of:
+        baseline = load_json(args.baseline_of)
+        record["baseline"] = baseline
+        speedups = {}
+        for name, entry in record["workloads"].items():
+            base = baseline.get("workloads", {}).get(name)
+            if base and entry["wall_s"] > 0:
+                speedups[name] = round(base["wall_s"] / entry["wall_s"], 2)
+        record["speedup_vs_baseline"] = speedups
+
+    dump_json(record, args.out)
+    print(f"[perf] wrote {args.out}", file=sys.stderr)
+    print(json.dumps({
+        name: {
+            "wall_s": entry["wall_s"],
+            "normalized": entry["normalized"],
+        }
+        for name, entry in record["workloads"].items()
+    }, indent=2))
+
+    if args.check:
+        ok, problems = check_against_baseline(
+            record, load_json(args.check), tolerance=args.tolerance
+        )
+        if not ok:
+            for problem in problems:
+                print(f"[perf] REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("[perf] no regression vs baseline", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,174 @@
+"""Suite runner, cProfile attribution and the CI regression gate."""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import platform
+import pstats
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .workloads import WORKLOADS, calibration_ms
+
+__all__ = ["run_suite", "check_against_baseline", "profile_workload"]
+
+SCHEMA = "repro.perf/1"
+
+
+def profile_workload(workload, quick: bool = False, top: int = 10) -> List[Dict[str, Any]]:
+    """Run one workload under cProfile; return the top hotspots by
+    cumulative time (the table DESIGN.md's perf section reports)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload.run(quick=quick)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, Any]] = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    ):
+        filename, lineno, name = func
+        if filename.startswith("<") or "/perf/" in filename.replace("\\", "/"):
+            continue  # harness frames, not engine frames
+        short = filename.replace("\\", "/").split("/site-packages/")[-1]
+        if "/repro/" in short:
+            short = "repro/" + short.split("/repro/", 1)[1]
+        elif "/lib/python" in short:
+            short = short.rsplit("/", 1)[-1]
+        rows.append(
+            {
+                "function": f"{short}:{lineno}({name})",
+                "ncalls": nc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            }
+        )
+        if len(rows) >= top:
+            break
+    return rows
+
+
+def run_suite(
+    quick: bool = False,
+    profile: bool = False,
+    only: Optional[List[str]] = None,
+    verbose: bool = True,
+) -> Dict[str, Any]:
+    """Run the workload suite and return the BENCH_engine record."""
+    selected = [w for w in WORKLOADS if only is None or w.name in only]
+    if only is not None:
+        unknown = set(only) - {w.name for w in selected}
+        if unknown:
+            raise ValueError(f"unknown workloads: {sorted(unknown)}")
+
+    cal = calibration_ms()
+    record: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "calibration_ms": round(cal, 3),
+        "workloads": {},
+    }
+    t0 = time.perf_counter()
+    for workload in selected:
+        if verbose:
+            print(f"[perf] running {workload.name} ({record['mode']}) ...", file=sys.stderr)
+        result = workload.run(quick=quick)
+        entry = result.as_record()
+        entry["normalized"] = round(result.wall_s * 1000.0 / cal, 4)
+        record["workloads"][workload.name] = entry
+        if verbose:
+            print(
+                f"[perf]   {workload.name}: {result.wall_s:.2f}s wall "
+                f"(x{entry['normalized']:.1f} calibration)",
+                file=sys.stderr,
+            )
+    record["total_wall_s"] = round(time.perf_counter() - t0, 3)
+
+    if profile:
+        # Profile the largest replay in the selection (replay names end in
+        # "<N>p"): the 32-peer replay is where the O(N^2) gossip dominates
+        # and is the workload the DESIGN.md perf tables are drawn from.
+        replays = [w for w in selected if w.name.startswith("replay-")]
+
+        def _peers(w):  # "replay-32p" -> 32
+            digits = "".join(ch for ch in w.name if ch.isdigit())
+            return int(digits) if digits else 0
+
+        replay = max(replays, key=_peers, default=selected[-1])
+        if verbose:
+            print(f"[perf] profiling {replay.name} ...", file=sys.stderr)
+        record["profile"] = {
+            "workload": replay.name,
+            "top_cumulative": profile_workload(replay, quick=quick),
+        }
+    return record
+
+
+def check_against_baseline(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+    min_wall_s: float = 0.25,
+) -> Tuple[bool, List[str]]:
+    """Compare a run against a checked-in baseline.
+
+    Timings are compared through the ``normalized`` figure (wall-clock
+    divided by the host calibration loop) so a slower CI runner is not
+    misread as an engine regression; a workload fails when it is more
+    than ``tolerance`` slower than baseline.  Workloads whose wall time
+    is under ``min_wall_s`` on both sides skip the timing gate — below
+    that, timer and calibration noise dwarf any real engine change.
+    Simulated metrics must match exactly regardless of size: the engine
+    may get faster, never different.
+    """
+    problems: List[str] = []
+    for name, base_entry in baseline.get("workloads", {}).items():
+        cur_entry = current.get("workloads", {}).get(name)
+        if cur_entry is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        if cur_entry.get("params") != base_entry.get("params"):
+            problems.append(
+                f"{name}: params changed {base_entry.get('params')} -> "
+                f"{cur_entry.get('params')} (regenerate the baseline)"
+            )
+            continue
+        base_sim = base_entry.get("sim_metrics", {})
+        cur_sim = cur_entry.get("sim_metrics", {})
+        if base_sim != cur_sim:
+            diffs = [
+                k
+                for k in set(base_sim) | set(cur_sim)
+                if base_sim.get(k) != cur_sim.get(k)
+            ]
+            problems.append(f"{name}: simulated metrics diverged ({sorted(diffs)})")
+        base_norm = base_entry.get("normalized")
+        cur_norm = cur_entry.get("normalized")
+        if (
+            base_entry.get("wall_s", 0.0) < min_wall_s
+            and cur_entry.get("wall_s", 0.0) < min_wall_s
+        ):
+            continue  # too small to time reliably; sim metrics checked above
+        if base_norm and cur_norm and cur_norm > base_norm * (1.0 + tolerance):
+            problems.append(
+                f"{name}: {cur_norm:.2f} normalized vs baseline {base_norm:.2f} "
+                f"(> {tolerance:.0%} regression)"
+            )
+    return (not problems, problems)
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def dump_json(record: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")

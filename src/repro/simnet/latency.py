@@ -93,13 +93,20 @@ class LatencyProfile:
         self, src_region: str, dst_region: str, size_bytes: int, rng: random.Random
     ) -> float:
         """Sampled one-way delay for one message between two regions."""
-        jitter = rng.uniform(0.0, self.jitter_ms) if self.jitter_ms > 0 else 0.0
-        return (
-            self.propagation(src_region, dst_region)
-            + self.serialization(size_bytes)
-            + self.overhead_ms
-            + jitter
-        )
+        # jitter_ms * random() is bit-identical to uniform(0, jitter_ms)
+        # (CPython computes a + (b - a) * random()) minus one Python call.
+        jitter = self.jitter_ms * rng.random() if self.jitter_ms > 0 else 0.0
+        if src_region == dst_region:
+            propagation = self.intra_region_ms
+        else:
+            propagation = self.propagation_ms.get(
+                (src_region, dst_region), self.default_propagation_ms
+            )
+        if size_bytes <= 0:
+            # serialization(0) is exactly 0.0; skipping the call (and the
+            # + 0.0) is bit-identical and this runs once per message.
+            return propagation + self.overhead_ms + jitter
+        return propagation + self.serialization(size_bytes) + self.overhead_ms + jitter
 
 
 # Measured 2018-era one-way latencies between SoftLayer data centres

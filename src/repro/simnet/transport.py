@@ -26,16 +26,29 @@ from .topology import Host, Topology
 __all__ = ["Message", "HostCondition", "NetworkStats", "Network"]
 
 
-@dataclass(frozen=True)
 class Message:
     """An in-flight message.  ``payload`` is any Python object (we simulate
-    the network, not the encoding); ``size_bytes`` drives serialisation."""
+    the network, not the encoding); ``size_bytes`` drives serialisation.
 
-    src: str
-    dst: str
-    payload: Any
-    size_bytes: int
-    sent_at: float
+    A plain ``__slots__`` class rather than a (frozen) dataclass: one is
+    allocated per send and the frozen-dataclass ``__init__`` (five
+    ``object.__setattr__`` calls) is measurable at millions of messages.
+    """
+
+    __slots__ = ("src", "dst", "payload", "size_bytes", "sent_at")
+
+    def __init__(self, src: str, dst: str, payload: Any, size_bytes: int, sent_at: float):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.sent_at = sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(src={self.src!r}, dst={self.dst!r}, payload={self.payload!r}, "
+            f"size_bytes={self.size_bytes}, sent_at={self.sent_at})"
+        )
 
 
 @dataclass
@@ -108,8 +121,11 @@ class Network:
         self.stats = NetworkStats()
         self._conditions: Dict[str, HostCondition] = {}
         self._egress_free_at: Dict[str, float] = {}
-        self._channel_clear_at: Dict[tuple, float] = {}
-        self._channel_last_sent_at: Dict[tuple, float] = {}
+        # Nested src -> dst -> time maps (not (src, dst)-tuple keys): the
+        # lookups run per message and nested dict gets reuse the interned
+        # string hashes instead of building and hashing a tuple each time.
+        self._channel_clear_at: Dict[str, Dict[str, float]] = {}
+        self._channel_last_sent_at: Dict[str, Dict[str, float]] = {}
         #: host -> partition group id; messages between different groups
         #: are dropped while a partition is active (None = no partition).
         self._partition_of: Optional[Dict[str, int]] = None
@@ -150,70 +166,89 @@ class Network:
         application-level protocols are responsible for timeouts, exactly
         as over a real network.
         """
-        now = self.scheduler.now
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size_bytes
+        stats = self.stats
+        profile = self.profile
+        src_name = src.name
+        dst_name = dst.name
+        scheduler = self.scheduler
+        now = scheduler._now
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
 
-        src_cond = self._conditions[src.name]
-        dst_cond = self._conditions[dst.name]
+        src_cond = self._conditions[src_name]
+        dst_cond = self._conditions[dst_name]
         if src_cond.down or dst_cond.down:
-            self.stats.messages_dropped += 1
+            stats.messages_dropped += 1
             return
         if self._partition_of is not None:
-            if self._partition_of.get(src.name) != self._partition_of.get(dst.name):
-                self.stats.messages_dropped += 1
-                self.stats.messages_dropped_partition += 1
+            if self._partition_of.get(src_name) != self._partition_of.get(dst_name):
+                stats.messages_dropped += 1
+                stats.messages_dropped_partition += 1
                 return
-        if self.profile.loss_rate and self.rng.random() < self.profile.loss_rate:
-            self.stats.messages_dropped += 1
+        if profile.loss_rate and self.rng.random() < profile.loss_rate:
+            stats.messages_dropped += 1
             return
         if dst_cond.ingress_drop_rate and self.rng.random() < dst_cond.ingress_drop_rate:
-            self.stats.messages_dropped += 1
+            stats.messages_dropped += 1
             return
 
         # FIFO egress serialisation at the sender's NIC.
-        serialization = self.profile.serialization(size_bytes)
-        egress_start = max(now, self._egress_free_at[src.name])
-        egress_done = egress_start + serialization
-        self._egress_free_at[src.name] = egress_done
+        egress_free = self._egress_free_at
+        egress_start = egress_free[src_name]
+        if now > egress_start:
+            egress_start = now
+        if size_bytes > 0:  # LatencyProfile.serialization, inlined
+            egress_done = egress_start + size_bytes * 8.0 / (
+                profile.bandwidth_mbps * 1000.0
+            )
+        else:
+            egress_done = egress_start
+        egress_free[src_name] = egress_done
 
-        flight = self.profile.one_way_delay(src.region, dst.region, 0, self.rng)
+        flight = profile.one_way_delay(src.region, dst.region, 0, self.rng)
         deliver_at = egress_done + flight + dst_cond.extra_ingress_ms
 
         # Channels are FIFO per (src, dst) pair: Fabric's gRPC transport runs
         # over TCP, so jitter cannot reorder messages within one connection.
-        channel = (src.name, dst.name)
-        deliver_at = max(deliver_at, self._channel_clear_at.get(channel, 0.0))
-        self._channel_clear_at[channel] = deliver_at
+        clear_by_dst = self._channel_clear_at.get(src_name)
+        if clear_by_dst is None:
+            clear_by_dst = self._channel_clear_at[src_name] = {}
+        clear_at = clear_by_dst.get(dst_name, 0.0)
+        if clear_at > deliver_at:
+            deliver_at = clear_at
+        clear_by_dst[dst_name] = deliver_at
 
-        msg = Message(src.name, dst.name, payload, size_bytes, now)
+        msg = Message(src_name, dst_name, payload, size_bytes, now)
         if self.fault_injector is not None:
             times = self.fault_injector(msg, deliver_at)
             if not times:
-                self.stats.messages_dropped += 1
-                self.stats.messages_dropped_fault += 1
+                stats.messages_dropped += 1
+                stats.messages_dropped_fault += 1
                 return
             if len(times) > 1:
-                self.stats.messages_duplicated += len(times) - 1
+                stats.messages_duplicated += len(times) - 1
             if max(times) > deliver_at:
-                self.stats.messages_delayed_fault += 1
+                stats.messages_delayed_fault += 1
             for when in times:
-                self.scheduler.call_at(max(when, now), self._deliver, dst, src, msg)
+                scheduler.call_at_anon(max(when, now), self._deliver, dst, src, msg)
             return
-        self.scheduler.call_at(deliver_at, self._deliver, dst, src, msg)
+        scheduler.call_at_anon(deliver_at, self._deliver, dst, src, msg)
 
     def _deliver(self, dst: Host, src: Host, msg: Message) -> None:
+        stats = self.stats
         # Re-check: host may have gone down while the message was in flight.
-        if self._conditions[dst.name].down:
-            self.stats.messages_dropped += 1
+        if self._conditions[msg.dst].down:
+            stats.messages_dropped += 1
             return
-        channel = (msg.src, msg.dst)
-        last = self._channel_last_sent_at.get(channel)
+        last_by_dst = self._channel_last_sent_at.get(msg.src)
+        if last_by_dst is None:
+            last_by_dst = self._channel_last_sent_at[msg.src] = {}
+        last = last_by_dst.get(msg.dst)
         if last is not None and msg.sent_at < last:
-            self.stats.messages_reordered += 1
+            stats.messages_reordered += 1
         else:
-            self._channel_last_sent_at[channel] = msg.sent_at
-        self.stats.messages_delivered += 1
+            last_by_dst[msg.dst] = msg.sent_at
+        stats.messages_delivered += 1
         dst.handle_message(src, msg.payload)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,236 @@
+"""Property tests: the hot-path optimisations are *invisible*.
+
+The incremental bucketed state hash, the copy-on-write ``copy()``, the
+overlay view and the digest/signature memos must all be pure
+optimisations — every observable value equals what the unoptimised
+computation produces.  These tests drive each mechanism with
+hypothesis-generated operation sequences and compare against a
+from-scratch recomputation.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchain.crypto import canonical_digest, generate_keypair, sha256_hex
+from repro.blockchain.state import (
+    STATE_HASH_BUCKETS,
+    Version,
+    WorldState,
+    _bucket_of,
+    _entry_digest,
+)
+
+# ----------------------------------------------------------------------
+# operation sequences over the world state
+
+_KEYS = st.sampled_from(
+    [f"asset/p{i}/{j}" for i in range(4) for j in range(3)]
+    + [f"player/p{i}" for i in range(4)]
+    + ["~nonce/p0/n1", "ctr/a", "ctr/b"]
+)
+
+_VALUES = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(max_size=8),
+    st.fixed_dictionaries({"hp": st.integers(0, 200)}),
+    st.none(),
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), _KEYS, _VALUES, st.integers(0, 50), st.integers(0, 4)),
+        st.tuples(st.just("delete"), _KEYS),
+    ),
+    max_size=60,
+)
+
+
+def _apply(state: WorldState, ops) -> None:
+    for op in ops:
+        if op[0] == "put":
+            _, key, value, block, tx = op
+            state.put(key, value, Version(block, tx))
+        else:
+            state.delete(op[1])
+
+
+def _hash_from_scratch(state: WorldState) -> str:
+    """Recompute the bucketed digest with no incremental machinery."""
+    buckets = [{} for _ in range(STATE_HASH_BUCKETS)]
+    for key, entry in state.items():
+        buckets[_bucket_of(key)][key] = _entry_digest(key, entry)
+    digests = []
+    for bucket in buckets:
+        if bucket:
+            digests.append(sha256_hex("\x00".join(bucket[k] for k in sorted(bucket))))
+        else:
+            digests.append("")
+    return sha256_hex("\x01".join(digests))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_incremental_hash_matches_from_scratch(ops):
+    """After any put/delete sequence (with interleaved hash calls), the
+    incremental root equals a full from-scratch recomputation."""
+    state = WorldState()
+    for i, op in enumerate(ops):
+        _apply(state, [op])
+        if i % 7 == 0:  # interleave: dirty-set bookkeeping must survive
+            state.state_hash()
+    assert state.state_hash() == _hash_from_scratch(state)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_OPS, more=_OPS)
+def test_hash_is_content_defined_not_history_defined(ops, more):
+    """Two states holding identical content hash identically, no matter
+    how they got there (different op orders, deletes, COW copies)."""
+    a = WorldState()
+    _apply(a, ops)
+    _apply(a, more)
+    b = WorldState()
+    _apply(b, ops + more)
+    # replay into a fresh state from the final content only
+    c = WorldState()
+    for key, entry in a.items():
+        c.put(key, entry.value, entry.version)
+    assert a.state_hash() == b.state_hash() == c.state_hash()
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_OPS, ours=_OPS, theirs=_OPS)
+def test_cow_copy_is_fully_independent(ops, ours, theirs):
+    """Mutating either side of a copy() never leaks into the other, and
+    both sides' hashes stay correct."""
+    base = WorldState()
+    _apply(base, ops)
+    base_hash = base.state_hash()
+    clone = base.copy()
+    assert clone.state_hash() == base_hash
+    _apply(clone, theirs)
+    assert base.state_hash() == base_hash  # clone writes invisible
+    _apply(base, ours)
+    assert base.state_hash() == _hash_from_scratch(base)
+    assert clone.state_hash() == _hash_from_scratch(clone)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_OPS, local=_OPS)
+def test_overlay_commit_equals_direct_application(ops, local):
+    """overlay() + commit_to_base() is equivalent to applying the same
+    writes directly, and discard() leaves no trace."""
+    direct = WorldState()
+    _apply(direct, ops)
+    overlaid = WorldState()
+    _apply(overlaid, ops)
+
+    probe = overlaid.overlay()
+    _apply(probe, local)  # overlay has the same put/delete API
+    probe.discard()
+    assert overlaid.state_hash() == direct.state_hash()
+
+    view = overlaid.overlay()
+    _apply(view, local)
+    _apply(direct, local)
+    view.commit_to_base()
+    assert overlaid.state_hash() == direct.state_hash()
+    assert overlaid.snapshot() == direct.snapshot()
+
+
+def test_overlay_speculative_reads_keep_committed_versions():
+    """put_speculative overlays the value but readers observe the base's
+    committed version — Fabric's execution-stage semantics."""
+    state = WorldState()
+    state.put("k", 1, Version(3, 0))
+    view = state.overlay()
+    view.put_speculative("k", 2)
+    view.put_speculative("fresh", 9)
+    assert view.get("k") == 2
+    assert view.version_of("k") == Version(3, 0)
+    assert view.get("fresh") == 9
+    assert view.version_of("fresh") is None
+    assert state.get("k") == 1  # base untouched
+
+
+# ----------------------------------------------------------------------
+# digest / signature memoisation
+
+@settings(max_examples=30, deadline=None)
+@given(
+    payload=st.recursive(
+        st.one_of(st.integers(), st.text(max_size=6), st.booleans(), st.none()),
+        lambda children: st.one_of(
+            st.lists(children, max_size=3),
+            st.dictionaries(st.text(max_size=4), children, max_size=3),
+        ),
+        max_leaves=8,
+    )
+)
+def test_canonical_digest_deterministic_on_native_types(payload):
+    assert canonical_digest(payload) == canonical_digest(payload)
+
+
+def test_canonical_digest_rejects_non_native_types():
+    import pytest
+
+    class Weird:
+        def __str__(self):
+            return "weird"
+
+    with pytest.raises(TypeError):
+        canonical_digest({"x": Weird()})
+    with pytest.raises(TypeError):
+        canonical_digest(object())
+
+
+def test_signature_memo_matches_uncached():
+    kp = generate_keypair("perf-eq-test")
+    sig = kp.sign("hello")
+    for message, signature in [("hello", sig), ("tampered", sig), ("hello", sig + 1)]:
+        assert kp.public.verify(message, signature) == kp.public.verify_uncached(
+            message, signature
+        )
+        # second call hits the memo; verdict must be stable
+        assert kp.public.verify(message, signature) == kp.public.verify_uncached(
+            message, signature
+        )
+
+
+def test_digest_memo_matches_fresh_and_detects_tampering():
+    from repro.blockchain.block import make_block
+    from repro.blockchain.identity import CertificateAuthority
+    from repro.blockchain.transaction import Proposal, Transaction
+
+    ca = CertificateAuthority(seed=77)
+    identity = ca.enroll("prover")
+    proposal = Proposal(
+        tx_id="t1",
+        contract="c",
+        function="f",
+        args=(1, "a"),
+        nonce="n1",
+        creator="prover",
+        timestamp=1.0,
+    )
+    tx = Transaction(
+        proposal=proposal,
+        certificate=identity.certificate,
+        signature=identity.sign(proposal.digest()),
+    )
+    block = make_block(1, "0" * 64, [tx], timestamp=2.0)
+
+    # memoised == fresh on untouched objects
+    assert proposal.digest() == proposal.digest(fresh=True)
+    assert tx.digest() == tx.digest(fresh=True)
+    assert block.digest() == block.digest(fresh=True)
+    assert block.data_digest() == block.data_digest(fresh=True)
+    assert identity.certificate.tbs() == identity.certificate.tbs(fresh=True)
+
+    # the fresh path sees in-place tampering the memo (by design) misses
+    memo_before = proposal.digest()
+    object.__setattr__(proposal, "args", ("cheat",))
+    assert proposal.digest() == memo_before
+    assert proposal.digest(fresh=True) != memo_before
