@@ -109,6 +109,10 @@ class BlockchainNetwork:
         self.orderer.connect_peers(self.peers)
 
         self._clients: Dict[str, BlockchainClient] = {}
+        #: Optional :class:`repro.telemetry.Telemetry`; set by
+        #: ``Telemetry.instrument_chain``.  ``create_client`` propagates
+        #: it so late-joining clients are instrumented too.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # deployment
@@ -145,6 +149,8 @@ class BlockchainNetwork:
         )
         self.net.register(client)
         self._clients[name] = client
+        if self.telemetry is not None:
+            client.telemetry = self.telemetry
         return client
 
     # ------------------------------------------------------------------

@@ -54,6 +54,8 @@ class OrderingService(Host):
         self.txs_ordered = 0
         #: Observer called with each freshly cut block (chaos timelines).
         self.on_block_cut = None
+        #: Optional :class:`repro.telemetry.Telemetry` (None = disabled).
+        self.telemetry = None
 
     def set_genesis(self, genesis: Block) -> None:
         """Anchor the chain this orderer extends (before any block is cut)."""
@@ -94,6 +96,8 @@ class OrderingService(Host):
     def submit(self, tx: Transaction) -> None:
         """Enqueue a transaction; cut a block when the batch fills."""
         self._queue.append(tx)
+        if self.telemetry is not None:
+            self.telemetry.tx_enqueued(tx)
         if self._eligible_count() >= self.config.max_block_txs:
             self._cut_block()
         elif self._timeout is None or not self._timeout.active:
@@ -168,6 +172,8 @@ class OrderingService(Host):
         self._cut_blocks.append(block)
         self.blocks_cut += 1
         self.txs_ordered += len(chosen)
+        if self.telemetry is not None:
+            self.telemetry.block_cut(block)
         if self.on_block_cut is not None:
             self.on_block_cut(block)
 

@@ -112,6 +112,9 @@ class Peer(Host):
         #: sim-time each block became synchronised (for latency metrics).
         self.block_synced_at: Dict[int, float] = {}
         self.on_block_synced: Optional[Callable[[int, Block], None]] = None
+        #: Optional :class:`repro.telemetry.Telemetry`; every hook site
+        #: guards on ``is not None``, keeping disabled runs cost-free.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # setup
@@ -227,6 +230,8 @@ class Peer(Host):
     def _on_block(self, block: Block) -> None:
         if block.number <= self._committed_height:
             return  # duplicate delivery
+        if self.telemetry is not None and block.number not in self._pending_blocks:
+            self.telemetry.block_delivered(self.name, block)
         self._pending_blocks.setdefault(block.number, block)
         self._retry_attempts = 0  # fresh information restarts the retry budget
         self._detect_gap(block.number)
@@ -297,6 +302,13 @@ class Peer(Host):
         self._executions[block.number] = executions
         self._executed_height = block.number
         self._executing = False
+        if self.telemetry is not None:
+            # Execution ends exactly now; its serialised CPU cost is the
+            # same figure _maybe_execute scheduled us with.
+            cost = len(block.transactions) * (
+                self.config.exec_ms_per_tx + self.config.sig_verify_ms
+            )
+            self.telemetry.block_executed(self.name, block, cost)
 
         votes = tuple(e.code == TxValidationCode.VALID for e in executions)
         self._vote_history[block.number] = votes
@@ -420,6 +432,8 @@ class Peer(Host):
             elif not decision and locally_valid:
                 execution.code = TxValidationCode.CONSENSUS_NOT_REACHED
 
+        if self.telemetry is not None:
+            self.telemetry.block_decided(self.name, block)
         self._commit_scheduled.add(block.number)
         cost = self.config.commit_ms_per_tx * len(block.transactions)
         self._compute(cost, self._finish_commit, block, executions)
@@ -427,8 +441,10 @@ class Peer(Host):
     def _finish_commit(self, block: Block, executions: List[TxExecution]) -> None:
         if block.number != self._committed_height + 1:
             return  # stale double-commit attempt
-        self.ledger.append(block, executions)
+        codes = self.ledger.append(block, executions)
         self._committed_height = block.number
+        if self.telemetry is not None:
+            self.telemetry.block_committed(self.name, block, codes)
         self._pending_blocks.pop(block.number, None)
         self._votes.pop(block.number, None)
         self._commit_scheduled.discard(block.number)
@@ -513,6 +529,8 @@ class Peer(Host):
                 #          already; no fresh quorum will form for them)
             self._synced_height = nxt
             self.block_synced_at[nxt] = self.network.scheduler.now
+            if self.telemetry is not None:
+                self.telemetry.block_synced(self.name, nxt)
             self._sync_hashes.pop(nxt, None)
             self._own_hash.pop(nxt, None)
             synced_block = self.ledger.block(nxt)

@@ -4,7 +4,16 @@ Runs one seeded chaos experiment, prints the injected schedule, the
 invariant verdict and the timeline digest.  On failure it automatically
 shrinks the schedule to a minimal failing prefix (unless ``--faults``
 was given — that *is* the replay mode) and prints the replay command.
-Exit status is 0 iff every invariant held.
+
+Exit status:
+
+* ``0`` — every invariant held;
+* ``1`` — at least one invariant violation (or bad usage via argparse's
+  own ``2``);
+* ``3`` — the ``--max-wall-s`` budget expired before the scenario
+  finished.  The run is *truncated*, not failed: no verdict was
+  reached, shrinking is skipped, and CI should treat it as an
+  infrastructure timeout rather than a regression.
 """
 
 from __future__ import annotations
@@ -20,6 +29,29 @@ from .runner import (
     shrink_failing_schedule,
 )
 from .scenarios import SCENARIOS, get_scenario
+
+#: Exit status for a run stopped by ``--max-wall-s`` (see module doc).
+EXIT_TRUNCATED = 3
+
+
+def _result_payload(result) -> dict:
+    return {
+        "scenario": result.scenario,
+        "seed": result.seed,
+        "buggy": result.buggy,
+        "ok": result.ok,
+        "truncated": result.truncated,
+        "wall_s": result.wall_s,
+        "faults_in_schedule": result.faults_in_schedule,
+        "faults_applied": result.faults_applied,
+        "submitted": result.submitted,
+        "workload_summary": result.workload_summary,
+        "probe_codes": result.probe_codes,
+        "committed_height": result.committed_height,
+        "timeline_digest": result.timeline_digest(),
+        "network_stats": result.network_stats,
+        "violations": [v.describe() for v in result.violations],
+    }
 
 
 def main(argv=None) -> int:
@@ -50,6 +82,23 @@ def main(argv=None) -> int:
         help="machine-readable result on stdout",
     )
     parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="write the machine-readable result to PATH as JSON "
+        "(CI uploads it as an artifact on failure)",
+    )
+    parser.add_argument(
+        "--trace", nargs="?", const="chaos_trace.jsonl", default=None,
+        metavar="PATH",
+        help="enable telemetry and dump the lifecycle trace as JSON "
+        "Lines (default: chaos_trace.jsonl)",
+    )
+    parser.add_argument(
+        "--max-wall-s", type=float, default=None, metavar="S",
+        help="stop the run in-process after S wall-clock seconds and "
+        f"exit {EXIT_TRUNCATED} (replaces wrapping the CLI in a shell "
+        "timeout, which loses the partial record)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -65,27 +114,31 @@ def main(argv=None) -> int:
     except KeyError as exc:
         parser.error(str(exc))
 
+    telemetry = None
+    if args.trace is not None:
+        from ..telemetry import Telemetry
+
+        telemetry = Telemetry()
+
     result = run_scenario(
-        scenario, args.seed, max_faults=args.faults, buggy=args.buggy
+        scenario, args.seed, max_faults=args.faults, buggy=args.buggy,
+        telemetry=telemetry, max_wall_s=args.max_wall_s,
     )
 
+    if telemetry is not None:
+        from ..telemetry import format_stage_summary, stage_summary, write_trace_jsonl
+
+        n_records = write_trace_jsonl(telemetry, args.trace)
+        print(f"# trace: {n_records} records -> {args.trace}", file=sys.stderr)
+        for line in format_stage_summary(stage_summary(telemetry)):
+            print(f"  {line}", file=sys.stderr)
+
+    if args.record is not None:
+        with open(args.record, "w", encoding="utf-8") as fh:
+            json.dump(_result_payload(result), fh, indent=2, sort_keys=True)
+
     if args.as_json:
-        payload = {
-            "scenario": result.scenario,
-            "seed": result.seed,
-            "buggy": result.buggy,
-            "ok": result.ok,
-            "faults_in_schedule": result.faults_in_schedule,
-            "faults_applied": result.faults_applied,
-            "submitted": result.submitted,
-            "workload_summary": result.workload_summary,
-            "probe_codes": result.probe_codes,
-            "committed_height": result.committed_height,
-            "timeline_digest": result.timeline_digest(),
-            "network_stats": result.network_stats,
-            "violations": [v.describe() for v in result.violations],
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(json.dumps(_result_payload(result), indent=2, sort_keys=True))
     else:
         print(f"# schedule ({result.faults_in_schedule} faults)")
         for line in result.schedule.describe():
@@ -93,6 +146,14 @@ def main(argv=None) -> int:
         print("# result")
         for line in result.describe():
             print(f"  {line}")
+
+    if result.truncated:
+        print(
+            f"# truncated by --max-wall-s {args.max_wall_s} after "
+            f"{result.wall_s:.1f}s; no invariant verdict",
+            file=sys.stderr,
+        )
+        return EXIT_TRUNCATED
 
     if result.ok:
         return 0

@@ -66,6 +66,8 @@ class FaultInjector:
         self._partition_active = False
         self.faults_applied = 0
         self._installed = False
+        #: Optional :class:`repro.telemetry.Telemetry` (None = disabled).
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -169,6 +171,8 @@ class FaultInjector:
             self._log("ddos-end", tuple(attack.targets))
 
     def _log(self, kind: str, targets: Tuple[str, ...]) -> None:
+        if self.telemetry is not None:
+            self.telemetry.fault(kind, targets)
         if self.on_fault is not None:
             self.on_fault(self.net.scheduler.now, kind, targets)
 

@@ -20,6 +20,7 @@ exact command that reproduces it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
@@ -68,6 +69,12 @@ class ChaosResult:
     committed_height: int = 0
     network_stats: Dict[str, int] = field(default_factory=dict)
     schedule: Optional[FaultSchedule] = None
+    #: True when a ``max_wall_s`` budget expired before the scenario
+    #: finished — the run's results are partial and not comparable.
+    truncated: bool = False
+    #: Host wall-clock seconds the simulation loop consumed (only
+    #: measured when a ``max_wall_s`` budget was given, else 0.0).
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -81,7 +88,8 @@ class ChaosResult:
     def describe(self) -> List[str]:
         lines = [
             f"scenario={self.scenario} seed={self.seed}"
-            + (f" buggy={self.buggy}" if self.buggy else ""),
+            + (f" buggy={self.buggy}" if self.buggy else "")
+            + (f" TRUNCATED after {self.wall_s:.1f}s wall" if self.truncated else ""),
             f"faults: {self.faults_applied}/{self.faults_in_schedule} applied",
             f"workload: {self.submitted} submitted, outcomes {self.workload_summary}",
             f"probes: {self.probe_codes}",
@@ -96,12 +104,49 @@ class ChaosResult:
         return lines
 
 
+#: Events fired between wall-clock checks under a ``max_wall_s`` budget.
+#: Large enough that the ``perf_counter`` call is noise, small enough
+#: that overshoot past the budget stays well under a second.
+_WALL_CHECK_EVERY = 20_000
+
+#: Backstop matching :meth:`Scheduler.run_until_idle`'s default.
+_MAX_TOTAL_EVENTS = 10_000_000
+
+
+def _run_budgeted(scheduler, deadline: float, until: Optional[float]) -> bool:
+    """Run the scheduler in event chunks, checking the wall clock between
+    chunks.  Returns True when the phase completed (queue drained or
+    ``until`` reached), False when the ``deadline`` expired first.
+
+    Only used when a budget was requested: the unbudgeted path stays the
+    exact event loop the golden determinism record was taken on (the sim
+    results are identical either way — chunking never reorders events —
+    but the unchunked loop is faster and simpler to reason about).
+    """
+    total = 0
+    while True:
+        if time.perf_counter() >= deadline:
+            return False
+        before = scheduler.events_processed
+        scheduler.run(until=until, max_events=_WALL_CHECK_EVERY)
+        fired = scheduler.events_processed - before
+        total += fired
+        if fired < _WALL_CHECK_EVERY:
+            return True  # run() hit its natural end, not the chunk cap
+        if total >= _MAX_TOTAL_EVENTS:
+            raise RuntimeError(
+                f"simulation did not quiesce within {_MAX_TOTAL_EVENTS} events"
+            )
+
+
 def run_scenario(
     scenario: Union[str, Scenario],
     seed: int,
     max_faults: Optional[int] = None,
     buggy: Optional[str] = None,
     record_timeline: bool = True,
+    telemetry=None,
+    max_wall_s: Optional[float] = None,
 ) -> ChaosResult:
     """Run one seeded chaos experiment end to end.
 
@@ -113,6 +158,13 @@ def run_scenario(
         buggy: name of a :data:`BUGGY_FIXTURES` entry to install.
         record_timeline: keep the per-event timeline (disabled inside the
             shrinker's inner loop, where only pass/fail matters).
+        telemetry: optional :class:`repro.telemetry.Telemetry` to wire
+            through the deployment and the injector.  Purely host-side:
+            the simulated results are identical with and without.
+        max_wall_s: host wall-clock budget in seconds.  When it expires
+            the run stops in-process and returns with ``truncated=True``
+            and whatever was recorded so far; convergence/liveness are
+            not judged on a partial run.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -125,6 +177,10 @@ def run_scenario(
         seed=seed,
         config=FabricConfig(max_block_txs=scenario.max_block_txs),
     )
+    if telemetry is not None:
+        # Before the workload installs: its clients then inherit the
+        # telemetry through BlockchainNetwork.create_client.
+        telemetry.instrument_chain(chain)
     timeline: List[list] = []
 
     def record(kind: str, *fields) -> None:
@@ -160,26 +216,49 @@ def run_scenario(
         schedule,
         on_fault=lambda t, kind, targets: record("fault", kind, list(targets)),
     ).install()
+    if telemetry is not None:
+        injector.telemetry = telemetry
 
     # Fault phase, then heal-and-settle, then liveness probes.
-    chain.run(until=scenario.duration_ms)
-    injector.lift_all()
-    chain.run(until=scenario.duration_ms + scenario.settle_ms)
-    workload.submit_probes()
-    chain.run_until_idle()
+    truncated = False
+    wall_start = time.perf_counter()
+    if max_wall_s is None:
+        chain.run(until=scenario.duration_ms)
+        injector.lift_all()
+        chain.run(until=scenario.duration_ms + scenario.settle_ms)
+        workload.submit_probes()
+        chain.run_until_idle()
+    else:
+        deadline = wall_start + max_wall_s
+        sched = chain.net.scheduler
+        if _run_budgeted(sched, deadline, until=scenario.duration_ms):
+            injector.lift_all()
+            if _run_budgeted(
+                sched, deadline, until=scenario.duration_ms + scenario.settle_ms
+            ):
+                workload.submit_probes()
+                truncated = not _run_budgeted(sched, deadline, until=None)
+            else:
+                truncated = True
+        else:
+            truncated = True
+    wall_s = time.perf_counter() - wall_start
 
-    monitor.check_convergence()
-    for index, code in enumerate(workload.probe_codes):
-        if code != TxValidationCode.VALID:
+    if not truncated:
+        # Convergence and liveness are end-of-run judgements; a
+        # wall-clock-truncated run never reached its end.
+        monitor.check_convergence()
+        for index, code in enumerate(workload.probe_codes):
+            if code != TxValidationCode.VALID:
+                monitor._record(
+                    "liveness", "wl-probe",
+                    f"post-heal probe {index} ended {code}, expected VALID",
+                )
+        if len(workload.probe_codes) < 3:
             monitor._record(
                 "liveness", "wl-probe",
-                f"post-heal probe {index} ended {code}, expected VALID",
+                f"only {len(workload.probe_codes)} of 3 probes completed",
             )
-    if len(workload.probe_codes) < 3:
-        monitor._record(
-            "liveness", "wl-probe",
-            f"only {len(workload.probe_codes)} of 3 probes completed",
-        )
 
     return ChaosResult(
         scenario=scenario.name,
@@ -195,6 +274,8 @@ def run_scenario(
         committed_height=max(p.committed_height for p in chain.peers),
         network_stats=chain.net.stats.as_dict(),
         schedule=schedule,
+        truncated=truncated,
+        wall_s=round(wall_s, 3) if max_wall_s is not None else 0.0,
     )
 
 

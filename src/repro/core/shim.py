@@ -289,10 +289,12 @@ class Shim(BlockchainClient):
     def _on_batch_complete(self, lane: _Lane, batch: Batch, result: TxResult) -> None:
         now = self.network.scheduler.now
         accepted = result.code == TxValidationCode.VALID
+        batch_latencies: List[float] = []
         for event in batch.events:
             arrival = self._arrival_ms.pop(event.seq, now)
             latency = now - arrival
             self.stats.latencies_ms.append(latency)
+            batch_latencies.append(latency)
             self.stats.last_ack_at = now
             if accepted:
                 self.stats.accepted_events += 1
@@ -303,6 +305,11 @@ class Shim(BlockchainClient):
                 )
             if self.on_ack is not None:
                 self.on_ack(event, accepted, result.code, latency)
+        if self.telemetry is not None:
+            self.telemetry.shim_ack(
+                self.name, result.tx_id, accepted, result.code,
+                batch_latencies, len(batch.events),
+            )
         lane.inflight = None
         if lane.queue and not self.closed:
             self._dispatch(lane, lane.queue.pop(0))

@@ -51,9 +51,18 @@ def main(argv=None) -> int:
         "--baseline-of", metavar="BASELINE",
         help="embed this baseline run in the output and report the speedup",
     )
+    parser.add_argument(
+        "--trace", nargs="?", const="traces", default=None, metavar="DIR",
+        help="enable telemetry on the replay workloads: dump JSONL "
+        "lifecycle traces + Prometheus metrics into DIR (default: "
+        "%(const)s) and print the per-stage latency summary",
+    )
     args = parser.parse_args(argv)
 
-    record = run_suite(quick=args.quick, profile=args.profile, only=args.only)
+    record = run_suite(
+        quick=args.quick, profile=args.profile, only=args.only,
+        trace_dir=args.trace,
+    )
 
     if args.baseline_of:
         baseline = load_json(args.baseline_of)
@@ -67,6 +76,20 @@ def main(argv=None) -> int:
 
     dump_json(record, args.out)
     print(f"[perf] wrote {args.out}", file=sys.stderr)
+
+    if args.trace is not None:
+        for name, entry in record["workloads"].items():
+            summary = entry.get("trace", {}).get("stage_summary")
+            if not summary:
+                continue
+            print(f"[perf] {name} per-stage latency:")
+            width = max(len(stage) for stage in summary)
+            for stage, row in summary.items():
+                print(
+                    f"[perf]   {stage:<{width}s}  count={row['count']:<6d} "
+                    f"mean={row['mean_ms']:.2f}ms p50={row['p50_ms']:.2f}ms "
+                    f"p95={row['p95_ms']:.2f}ms max={row['max_ms']:.2f}ms"
+                )
     print(json.dumps({
         name: {
             "wall_s": entry["wall_s"],

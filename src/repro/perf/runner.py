@@ -5,6 +5,7 @@ from __future__ import annotations
 import cProfile
 import io
 import json
+import os
 import platform
 import pstats
 import sys
@@ -57,13 +58,27 @@ def run_suite(
     profile: bool = False,
     only: Optional[List[str]] = None,
     verbose: bool = True,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Run the workload suite and return the BENCH_engine record."""
+    """Run the workload suite and return the BENCH_engine record.
+
+    With ``trace_dir`` set, every traceable workload (the full-stack
+    replays) runs with telemetry enabled: the lifecycle trace is dumped
+    to ``<trace_dir>/trace_<name>.jsonl``, the metrics registry to
+    ``<trace_dir>/metrics_<name>.prom``, and the per-stage latency
+    summary is embedded in the workload's record entry.  Telemetry is
+    host-side only, so simulated metrics are identical either way —
+    but ``wall_s`` includes the recording overhead, so traced runs
+    should not be gated against an untraced baseline.
+    """
     selected = [w for w in WORKLOADS if only is None or w.name in only]
     if only is not None:
         unknown = set(only) - {w.name for w in selected}
         if unknown:
             raise ValueError(f"unknown workloads: {sorted(unknown)}")
+
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
 
     cal = calibration_ms()
     record: Dict[str, Any] = {
@@ -78,9 +93,32 @@ def run_suite(
     for workload in selected:
         if verbose:
             print(f"[perf] running {workload.name} ({record['mode']}) ...", file=sys.stderr)
-        result = workload.run(quick=quick)
+        telemetry = None
+        if trace_dir is not None and workload.traceable:
+            from ..telemetry import Telemetry
+
+            telemetry = Telemetry()
+        result = workload.run(quick=quick, telemetry=telemetry)
         entry = result.as_record()
         entry["normalized"] = round(result.wall_s * 1000.0 / cal, 4)
+        if telemetry is not None:
+            from ..telemetry import prometheus_text, stage_summary, write_trace_jsonl
+
+            trace_path = os.path.join(trace_dir, f"trace_{workload.name}.jsonl")
+            n_records = write_trace_jsonl(telemetry, trace_path)
+            prom_path = os.path.join(trace_dir, f"metrics_{workload.name}.prom")
+            with open(prom_path, "w", encoding="utf-8") as fh:
+                fh.write(prometheus_text(telemetry))
+            entry["trace"] = {
+                "path": trace_path,
+                "records": n_records,
+                "stage_summary": stage_summary(telemetry),
+            }
+            if verbose:
+                print(
+                    f"[perf]   {workload.name}: trace {n_records} records -> {trace_path}",
+                    file=sys.stderr,
+                )
         record["workloads"][workload.name] = entry
         if verbose:
             print(

@@ -73,9 +73,15 @@ class Workload:
     #: (full-size kwargs, quick-size kwargs)
     full: Dict[str, Any] = field(default_factory=dict)
     quick: Dict[str, Any] = field(default_factory=dict)
+    #: Whether the workload accepts a ``telemetry=`` kwarg (full-stack
+    #: replays do; micro-benchmarks with no pipeline to trace do not).
+    traceable: bool = False
 
-    def run(self, quick: bool = False) -> WorkloadResult:
-        return self.fn(**(self.quick if quick else self.full))
+    def run(self, quick: bool = False, telemetry=None) -> WorkloadResult:
+        kwargs = dict(self.quick if quick else self.full)
+        if telemetry is not None and self.traceable:
+            kwargs["telemetry"] = telemetry
+        return self.fn(**kwargs)
 
 
 def calibration_ms(loops: int = 60) -> float:
@@ -246,13 +252,17 @@ def _session9_prefix(n_events: int):
     return dataclasses.replace(demo, events=demo.events[:n_events])
 
 
-def session_replay(n_peers: int = 32, n_events: int = 2500, seed: int = 7) -> WorkloadResult:
+def session_replay(
+    n_peers: int = 32, n_events: int = 2500, seed: int = 7, telemetry=None
+) -> WorkloadResult:
     """Replay a prefix of session #9 (the paper's longest trace) through
     the real shim + blockchain + simnet stack.
 
     The simulated metrics recorded here — commit counts, simulated
     latencies, heights, scheduler event count — are the bit-identical
-    contract the engine optimisations must preserve.
+    contract the engine optimisations must preserve.  An optional
+    :class:`repro.telemetry.Telemetry` traces the run; being host-side
+    only, it never changes the simulated metrics (only ``wall_s``).
     """
     from ..core import GameSession
 
@@ -263,6 +273,8 @@ def session_replay(n_peers: int = 32, n_events: int = 2500, seed: int = 7) -> Wo
         fabric_config=FabricConfig(max_block_txs=5, mutually_exclusive_blocks=True),
         seed=seed,
     )
+    if telemetry is not None:
+        telemetry.instrument_session(session)
     session.setup()
     session.play_demo(demo)
     session.run_until_idle()
@@ -309,17 +321,20 @@ WORKLOADS: Tuple[Workload, ...] = (
         fn=session_replay,
         full={"n_peers": 4, "n_events": 2500, "seed": 7},
         quick={"n_peers": 4, "n_events": 300, "seed": 7},
+        traceable=True,
     ),
     Workload(
         name="replay-16p",
         fn=session_replay,
         full={"n_peers": 16, "n_events": 2500, "seed": 7},
         quick={"n_peers": 16, "n_events": 200, "seed": 7},
+        traceable=True,
     ),
     Workload(
         name="replay-32p",
         fn=session_replay,
         full={"n_peers": 32, "n_events": 2500, "seed": 7},
         quick={"n_peers": 32, "n_events": 200, "seed": 7},
+        traceable=True,
     ),
 )

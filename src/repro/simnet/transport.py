@@ -137,6 +137,11 @@ class Network:
         #: with the event name and a detail dict.  Chaos timelines and
         #: monitors subscribe here.
         self.on_stats_event: Optional[Callable[[str, Dict[str, Any]], None]] = None
+        #: Optional :class:`repro.telemetry.Telemetry`.  Set by
+        #: ``Telemetry.bind_network``, which exports :attr:`stats` as
+        #: collect-time callback gauges and chains ``on_stats_event`` —
+        #: the transport hot path itself carries no telemetry branches.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # registration

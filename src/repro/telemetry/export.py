@@ -1,0 +1,170 @@
+"""Exporters: JSONL trace dump, Prometheus text format, stage summaries.
+
+All three are deterministic functions of a :class:`Telemetry` instance:
+spans are emitted in recording order (which, on the deterministic sim
+clock, is itself deterministic for a pinned seed), metrics sorted by
+name and labels.  The stage summary is what reproduces the paper's
+evaluation breakdowns from any run:
+
+* **Fig. 2** — :func:`fig2_latency_bins` bins per-event commit latency
+  into the paper's six latency buckets;
+* **Fig. 3c** — the ``validation`` / ``endorsement`` / ``commit`` rows
+  of :func:`stage_summary`, collected across runs at different peer
+  counts, are the validation-latency decomposition.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Union
+
+from .core import Telemetry
+from .metrics import FIG2_BUCKETS_MS, MetricsRegistry
+
+__all__ = [
+    "trace_records",
+    "write_trace_jsonl",
+    "prometheus_text",
+    "stage_summary",
+    "format_stage_summary",
+    "fig2_latency_bins",
+]
+
+
+# ----------------------------------------------------------------------
+# JSONL trace dump
+
+
+def trace_records(telemetry: Telemetry) -> List[Dict[str, Any]]:
+    """Every span and point event as plain dicts, in recording order."""
+    records: List[Dict[str, Any]] = [
+        span.as_record() for span in telemetry.tracer.spans
+    ]
+    records.extend(dict(event) for event in telemetry.tracer.events)
+    return records
+
+
+def write_trace_jsonl(telemetry: Telemetry, path: str) -> int:
+    """Dump the trace to ``path`` as JSON Lines; returns the line count."""
+    records = trace_records(telemetry)
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+    return len(records)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_labels(labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(source: Union[Telemetry, MetricsRegistry]) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    registry = source.registry if isinstance(source, Telemetry) else source
+    lines: List[str] = []
+    seen_header = set()
+    for metric in registry.collect():
+        if metric.name not in seen_header:
+            seen_header.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "histogram":
+            for le, count in metric.cumulative():
+                le_text = "+Inf" if math.isinf(le) else _fmt_value(le)
+                labels = _fmt_labels(metric.labels, 'le="%s"' % le_text)
+                lines.append(f"{metric.name}_bucket{labels} {count}")
+            lines.append(
+                f"{metric.name}_sum{_fmt_labels(metric.labels)} "
+                f"{_fmt_value(round(metric.sum, 6))}"
+            )
+            lines.append(
+                f"{metric.name}_count{_fmt_labels(metric.labels)} {metric.count}"
+            )
+        else:
+            lines.append(
+                f"{metric.name}{_fmt_labels(metric.labels)} {_fmt_value(metric.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# per-stage latency summary
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile on an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def stage_summary(telemetry: Telemetry) -> Dict[str, Dict[str, Any]]:
+    """Per-stage latency statistics from the recorded spans.
+
+    Keys are stage names (``submit``, ``ordering``, ``gossip``,
+    ``endorsement``, ``validation``, ``commit``, ``validation-abort``,
+    ``sync``, ``e2e``); values carry count / mean / p50 / p95 / max in
+    simulated milliseconds.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    for stage, spans in sorted(telemetry.tracer.by_stage().items()):
+        durations = sorted(span.duration_ms for span in spans)
+        total = sum(durations)
+        out[stage] = {
+            "count": len(durations),
+            "mean_ms": round(total / len(durations), 3),
+            "p50_ms": round(_percentile(durations, 0.50), 3),
+            "p95_ms": round(_percentile(durations, 0.95), 3),
+            "max_ms": round(durations[-1], 3),
+        }
+    return out
+
+
+def format_stage_summary(summary: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Human-readable table lines for a :func:`stage_summary` result."""
+    lines = [
+        f"{'stage':<17s} {'count':>7s} {'mean':>9s} {'p50':>9s} "
+        f"{'p95':>9s} {'max':>9s}  (simulated ms)"
+    ]
+    for stage, row in summary.items():
+        lines.append(
+            f"{stage:<17s} {row['count']:>7d} {row['mean_ms']:>9.2f} "
+            f"{row['p50_ms']:>9.2f} {row['p95_ms']:>9.2f} {row['max_ms']:>9.2f}"
+        )
+    return lines
+
+
+def fig2_latency_bins(telemetry: Telemetry) -> Dict[str, Any]:
+    """Commit-latency distribution in the paper's Fig. 2 bins.
+
+    Reads the ``shim_commit_latency_ms`` histogram (per *event*, the
+    figure's unit); returns bin edges, per-bin counts and fractions.
+    """
+    hist = telemetry.registry.get("shim_commit_latency_ms")
+    if hist is None or hist.count == 0:
+        return {"bins": list(FIG2_BUCKETS_MS), "counts": [], "fractions": []}
+    counts = list(hist.bucket_counts)
+    total = hist.count
+    return {
+        "bins": list(hist.boundaries) + ["+Inf"],
+        "counts": counts,
+        "fractions": [round(n / total, 4) for n in counts],
+        "count": total,
+        "mean_ms": round(hist.sum / total, 3),
+    }

@@ -1,0 +1,235 @@
+"""Counters, gauges and fixed-bucket histograms for the pipeline.
+
+The registry is deliberately tiny and dependency-free: a metric is a
+named (and optionally labelled) value the exporters can walk.  Two
+design rules keep it out of the engine's hot paths:
+
+* **get-or-create is the only lookup** — instrumented components resolve
+  their metric objects once at attach time and then call ``inc`` /
+  ``observe`` directly, so a recording is an attribute bump, not a
+  registry access;
+* **callback gauges** read their value lazily at collect time.  The
+  transport's :class:`~repro.simnet.transport.NetworkStats` counters are
+  absorbed this way: nothing is added to the per-message path, the
+  registry simply projects the already-maintained struct when exported.
+
+Histogram buckets are *fixed at construction* (Prometheus ``le``
+semantics: a bucket counts observations ``<= upper_bound``, with an
+implicit ``+Inf`` overflow bucket), so two runs of the same workload
+always bin identically and histogram output is diffable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "FIG2_BUCKETS_MS",
+]
+
+#: General-purpose latency buckets (milliseconds) for pipeline stages.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: The paper's Fig. 2 commit-latency bin edges (§7.1): six bins from
+#: 0-50 ms up to 350-600 ms, plus the implicit overflow bucket.
+FIG2_BUCKETS_MS: Tuple[float, ...] = (50.0, 100.0, 150.0, 250.0, 350.0, 600.0)
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _labelkey(labels: Dict[str, str]) -> Labels:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Labels] = None):
+        self.name = name
+        self.help = help
+        self.labels: Labels = labels or ()
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down; optionally a collect-time callback."""
+
+    __slots__ = ("name", "help", "labels", "_value", "_fn")
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Labels] = None,
+        fn: Optional[Callable[[], float]] = None,
+    ):
+        self.name = name
+        self.help = help
+        self.labels: Labels = labels or ()
+        self._value: float = 0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise RuntimeError(f"gauge {self.name} is callback-backed")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with Prometheus ``le`` semantics.
+
+    ``boundaries`` are the finite upper bounds, strictly increasing; an
+    observation lands in the first bucket whose bound is ``>= value``,
+    or in the implicit ``+Inf`` bucket past the last bound.
+    """
+
+    __slots__ = ("name", "help", "labels", "boundaries", "bucket_counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Labels] = None,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+    ):
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        if any(math.isinf(b) for b in bounds):
+            raise ValueError("+Inf bucket is implicit; boundaries must be finite")
+        self.name = name
+        self.help = help
+        self.labels: Labels = labels or ()
+        self.boundaries = bounds
+        #: per-bucket (non-cumulative) counts; index len(boundaries) = +Inf.
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        # Linear scan: bucket lists are short (≤ ~16) and observations in
+        # practice land in the low buckets, where the scan exits early.
+        for index, bound in enumerate(self.boundaries):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.boundaries, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + self.bucket_counts[-1]))
+        return out
+
+    def bucket_of(self, value: float) -> int:
+        """Index of the bucket ``observe(value)`` would increment."""
+        for index, bound in enumerate(self.boundaries):
+            if value <= bound:
+                return index
+        return len(self.boundaries)
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one telemetry session."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Labels], Any] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labels: Dict[str, str], **kwargs):
+        key = (name, _labelkey(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help=help, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "",
+        fn: Optional[Callable[[], float]] = None, **labels: str,
+    ) -> Gauge:
+        key = (name, _labelkey(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Gauge(name, help=help, labels=key[1], fn=fn)
+            self._metrics[key] = metric
+        return metric
+
+    def histogram(
+        self, name: str, help: str = "",
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, boundaries=boundaries
+        )
+
+    def collect(self) -> List[Any]:
+        """Every registered metric, sorted by (name, labels) for diffable
+        export output."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def get(self, name: str, **labels: str) -> Optional[Any]:
+        return self._metrics.get((name, _labelkey(labels)))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-data snapshot (JSON-friendly) of every metric."""
+        out: Dict[str, Any] = {}
+        for metric in self.collect():
+            label_suffix = (
+                "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
+                if metric.labels else ""
+            )
+            full = metric.name + label_suffix
+            if metric.kind == "histogram":
+                out[full] = {
+                    "count": metric.count,
+                    "sum": round(metric.sum, 6),
+                    "buckets": {
+                        ("+Inf" if math.isinf(le) else repr(le)): n
+                        for le, n in metric.cumulative()
+                    },
+                }
+            else:
+                out[full] = metric.value
+        return out

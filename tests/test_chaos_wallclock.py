@@ -1,0 +1,50 @@
+"""The ``--max-wall-s`` in-process wall-clock budget for chaos runs."""
+
+import json
+
+from repro.chaos.__main__ import EXIT_TRUNCATED, main as chaos_main
+from repro.chaos.runner import run_scenario
+
+
+def test_tiny_budget_truncates():
+    result = run_scenario("churn-partition-ddos", seed=7, max_wall_s=0.001)
+    assert result.truncated
+    assert result.wall_s > 0.0
+    # A truncated run reaches no verdict: no convergence/liveness checks ran.
+    assert result.ok  # no violations recorded, but ...
+    assert "TRUNCATED" in result.describe()[0]
+
+
+def test_generous_budget_matches_unbudgeted_run():
+    plain = run_scenario("smoke", seed=7)
+    budgeted = run_scenario("smoke", seed=7, max_wall_s=600.0)
+    assert not budgeted.truncated
+    assert budgeted.timeline_digest() == plain.timeline_digest()
+    assert budgeted.network_stats == plain.network_stats
+    assert budgeted.probe_codes == plain.probe_codes
+
+
+def test_cli_exit_code_on_truncation(tmp_path, capsys):
+    record = tmp_path / "rec.json"
+    code = chaos_main([
+        "--scenario", "churn-partition-ddos", "--seed", "7",
+        "--max-wall-s", "0.001", "--record", str(record),
+    ])
+    assert code == EXIT_TRUNCATED == 3
+    payload = json.loads(record.read_text())
+    assert payload["truncated"] is True
+    assert payload["wall_s"] > 0.0
+    err = capsys.readouterr().err
+    assert "truncated by --max-wall-s" in err
+
+
+def test_cli_smoke_passes_within_budget(tmp_path):
+    record = tmp_path / "rec.json"
+    code = chaos_main([
+        "--scenario", "smoke", "--seed", "42",
+        "--max-wall-s", "120", "--record", str(record),
+    ])
+    assert code == 0
+    payload = json.loads(record.read_text())
+    assert payload["ok"] is True
+    assert payload["truncated"] is False

@@ -1,0 +1,150 @@
+"""Unit tests for the telemetry metrics registry and exporters."""
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    FIG2_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_text,
+)
+
+
+# ----------------------------------------------------------------------
+# counters and gauges
+
+
+def test_counter_increments_and_rejects_negative():
+    c = Counter("txs")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_and_callback():
+    g = Gauge("depth")
+    g.set(7)
+    assert g.value == 7
+    backing = {"n": 3}
+    cb = Gauge("cb", fn=lambda: backing["n"])
+    assert cb.value == 3
+    backing["n"] = 9
+    assert cb.value == 9
+    with pytest.raises(RuntimeError):
+        cb.set(1)
+
+
+# ----------------------------------------------------------------------
+# histogram bucket correctness
+
+
+def test_histogram_le_semantics():
+    h = Histogram("lat", boundaries=(10.0, 20.0, 50.0))
+    # Prometheus `le`: a bucket counts observations <= its bound.
+    h.observe(10.0)   # first bucket (le=10), boundary inclusive
+    h.observe(10.001) # second bucket (le=20)
+    h.observe(20.0)   # second bucket
+    h.observe(49.9)   # third bucket (le=50)
+    h.observe(50.1)   # +Inf overflow
+    assert h.bucket_counts == [1, 2, 1, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(10.0 + 10.001 + 20.0 + 49.9 + 50.1)
+
+
+def test_histogram_cumulative_is_monotone_and_ends_at_count():
+    h = Histogram("lat", boundaries=FIG2_BUCKETS_MS)
+    for v in (1, 49, 50, 51, 99, 100, 240, 600, 601, 10_000):
+        h.observe(v)
+    cum = h.cumulative()
+    counts = [n for _, n in cum]
+    assert counts == sorted(counts)
+    assert math.isinf(cum[-1][0])
+    assert cum[-1][1] == h.count == 10
+
+
+def test_histogram_bucket_of_matches_observe():
+    h = Histogram("lat", boundaries=(1.0, 5.0, 25.0))
+    for value in (0.0, 1.0, 1.5, 5.0, 24.9, 25.0, 26.0):
+        before = list(h.bucket_counts)
+        h.observe(value)
+        changed = [
+            i for i, (a, b) in enumerate(zip(before, h.bucket_counts)) if a != b
+        ]
+        assert changed == [h.bucket_of(value)]
+
+
+def test_histogram_rejects_bad_boundaries():
+    with pytest.raises(ValueError):
+        Histogram("h", boundaries=())
+    with pytest.raises(ValueError):
+        Histogram("h", boundaries=(5.0, 5.0))
+    with pytest.raises(ValueError):
+        Histogram("h", boundaries=(1.0, math.inf))
+
+
+# ----------------------------------------------------------------------
+# registry
+
+
+def test_registry_get_or_create_identity_and_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("txs", "help text")
+    assert reg.counter("txs") is a
+    by_stage = reg.histogram("stage_ms", stage="commit")
+    other = reg.histogram("stage_ms", stage="gossip")
+    assert by_stage is not other
+    assert reg.get("stage_ms", stage="commit") is by_stage
+    assert reg.get("missing") is None
+
+
+def test_registry_kind_collision_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+# ----------------------------------------------------------------------
+# Prometheus exporter golden output
+
+
+def test_prometheus_text_golden():
+    reg = MetricsRegistry()
+    reg.counter("txs_total", "transactions").inc(3)
+    reg.gauge("queue_depth", "orderer queue").set(2)
+    h = reg.histogram("lat_ms", "latency", boundaries=(10.0, 50.0))
+    h.observe(5.0)
+    h.observe(12.5)
+    h.observe(99.0)
+    expected = "\n".join([
+        "# HELP lat_ms latency",
+        "# TYPE lat_ms histogram",
+        'lat_ms_bucket{le="10"} 1',
+        'lat_ms_bucket{le="50"} 2',
+        'lat_ms_bucket{le="+Inf"} 3',
+        "lat_ms_sum 116.5",
+        "lat_ms_count 3",
+        "# HELP queue_depth orderer queue",
+        "# TYPE queue_depth gauge",
+        "queue_depth 2",
+        "# HELP txs_total transactions",
+        "# TYPE txs_total counter",
+        "txs_total 3",
+    ]) + "\n"
+    assert prometheus_text(reg) == expected
+
+
+def test_prometheus_text_labelled_series_share_one_header():
+    reg = MetricsRegistry()
+    reg.counter("faults", "by kind", kind="peer-crash").inc()
+    reg.counter("faults", "by kind", kind="partition").inc(2)
+    text = prometheus_text(reg)
+    assert text.count("# TYPE faults counter") == 1
+    assert 'faults{kind="partition"} 2' in text
+    assert 'faults{kind="peer-crash"} 1' in text
