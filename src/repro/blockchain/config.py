@@ -86,6 +86,15 @@ class FabricConfig:
     anti_entropy_ms: float = 400.0
     anti_entropy_max_retries: int = 3
 
+    #: Static-analysis-guided ordering (ROADMAP item 3): when enabled, the
+    #: ordering service runs the staticcheck ConflictPlanner over every cut
+    #: block and records the resulting lane partition in non-hashed block
+    #: metadata.  Strictly advisory — transaction order, block contents and
+    #: commit outcomes are bit-identical with the flag on or off (pinned by
+    #: the golden chaos record); the plan tells validators which
+    #: transactions are provably independent.
+    conflict_planner: bool = False
+
     #: Extension addressing limitation §8(2): contract functions listed
     #: here are ordered ahead of others within a block (a C/S server
     #: "may prioritize SHOOT events over location updates"); the default

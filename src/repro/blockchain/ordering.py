@@ -19,7 +19,7 @@ optimisations (§6):
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Any, Callable, List, Optional, Set
 
 from ..simnet.clock import Timer
 from ..simnet.latency import Region
@@ -53,9 +53,15 @@ class OrderingService(Host):
         self.blocks_cut = 0
         self.txs_ordered = 0
         #: Observer called with each freshly cut block (chaos timelines).
-        self.on_block_cut = None
+        self.on_block_cut: Optional[Callable[[Block], None]] = None
         #: Optional :class:`repro.telemetry.Telemetry` (None = disabled).
-        self.telemetry = None
+        #: Typed ``Any`` — the telemetry package must stay optional here.
+        self.telemetry: Any = None
+        #: Optional :class:`repro.staticcheck.plan.ConflictPlanner`; when
+        #: set, every cut block gets a lane plan in its (non-hashed)
+        #: metadata.  Advisory only: never reorders or drops transactions.
+        #: Typed ``Any`` to avoid a blockchain → staticcheck import cycle.
+        self.planner: Any = None
 
     def set_genesis(self, genesis: Block) -> None:
         """Anchor the chain this orderer extends (before any block is cut)."""
@@ -167,6 +173,8 @@ class OrderingService(Host):
             transactions=chosen,
             timestamp=self.network.scheduler.now,
         )
+        if self.planner is not None:
+            block.plan = self.planner.plan_block(chosen).to_json()
         self._next_number += 1
         self._previous_hash = block.digest()
         self._cut_blocks.append(block)

@@ -147,6 +147,7 @@ def run_scenario(
     record_timeline: bool = True,
     telemetry=None,
     max_wall_s: Optional[float] = None,
+    config: Optional[FabricConfig] = None,
 ) -> ChaosResult:
     """Run one seeded chaos experiment end to end.
 
@@ -165,6 +166,9 @@ def run_scenario(
             the run stops in-process and returns with ``truncated=True``
             and whatever was recorded so far; convergence/liveness are
             not judged on a partial run.
+        config: override the :class:`FabricConfig` (the scenario's
+            ``max_block_txs`` is applied on top).  Used e.g. to pin that
+            the advisory ``conflict_planner`` flag cannot change results.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -172,10 +176,14 @@ def run_scenario(
         known = ", ".join(sorted(BUGGY_FIXTURES))
         raise KeyError(f"unknown buggy fixture {buggy!r}; known: {known}")
 
+    if config is None:
+        config = FabricConfig(max_block_txs=scenario.max_block_txs)
+    else:
+        config = config.with_options(max_block_txs=scenario.max_block_txs)
     chain = BlockchainNetwork(
         n_peers=scenario.n_peers,
         seed=seed,
-        config=FabricConfig(max_block_txs=scenario.max_block_txs),
+        config=config,
     )
     if telemetry is not None:
         # Before the workload installs: its clients then inherit the

@@ -15,37 +15,58 @@ package checks both properties before a contract ever runs:
   the differential tests.
 * :func:`predict_conflicts` — which event pairs will MVCC-conflict when
   batched into one block, before the ordering service ever sees them.
+* :func:`taint_contract` / :func:`taint_source` — interprocedural taint
+  rules (CHT001–CHT004) flagging cheat vulnerabilities: unguarded
+  payload→state writes, unbounded tainted arithmetic, asset minting and
+  client-addressed keys.
+* :class:`ConflictPlanner` — lowers the conflict matrix onto concrete
+  transaction batches as provably-independent validation lanes
+  (``FabricConfig.conflict_planner``).
 * :func:`analyze_contract` / :func:`analyze_source` — everything at
   once, as a :class:`ContractReport`; also behind the
-  ``python -m repro.staticcheck module:Class`` CLI.
+  ``python -m repro.staticcheck module:Class`` CLI, which additionally
+  offers ``--fuzz N --seed S`` (differential soundness harness) and
+  ``--sarif PATH`` (SARIF 2.1.0 export).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .conflicts import ConflictLevel, ConflictMatrix, predict_conflicts
+from .fuzz import FuzzCase, FuzzOutcome, default_cases, fuzz_case, run_fuzz
 from .linter import StaticCheckError, gate, lint_contract, lint_source
+from .plan import ConflictPlan, ConflictPlanner
 from .rules import Diagnostic, SEVERITY_ERROR, SEVERITY_WARNING
 from .rwset import Footprint, infer_footprints
+from .sarif import to_sarif
 from .symbols import KeyPattern, Sym, SymKind, covers_key, make_pattern, may_collide
+from .taint import CHT_RULES, TaintReport, taint_contract, taint_source
 
 __all__ = [
+    "CHT_RULES",
     "ConflictLevel",
     "ConflictMatrix",
+    "ConflictPlan",
+    "ConflictPlanner",
     "ContractReport",
     "Diagnostic",
     "Footprint",
+    "FuzzCase",
+    "FuzzOutcome",
     "KeyPattern",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
     "StaticCheckError",
     "Sym",
     "SymKind",
+    "TaintReport",
     "analyze_contract",
     "analyze_source",
     "covers_key",
+    "default_cases",
+    "fuzz_case",
     "gate",
     "infer_footprints",
     "lint_contract",
@@ -53,18 +74,30 @@ __all__ = [
     "make_pattern",
     "may_collide",
     "predict_conflicts",
+    "run_fuzz",
+    "taint_contract",
+    "taint_source",
+    "to_sarif",
 ]
 
 
 @dataclass
 class ContractReport:
-    """Combined static-analysis result for one contract."""
+    """Combined static-analysis result for one contract.
+
+    ``diagnostics`` merges the determinism (DET) and taint (CHT)
+    findings; ``waived`` holds CHT findings suppressed by an explicit
+    ``STATICCHECK_WAIVERS`` entry — reported, never dropped, and never
+    counted against the gate.
+    """
 
     contract: str
     diagnostics: List[Diagnostic]
     footprints: Dict[str, Footprint]
     conflicts: ConflictMatrix
     strict: bool = True
+    waived: List[Diagnostic] = field(default_factory=list)
+    waivers: Dict[str, str] = field(default_factory=dict)
 
     def failures(self) -> List[Diagnostic]:
         return gate(self.diagnostics, strict=self.strict)
@@ -79,6 +112,8 @@ class ContractReport:
             "strict": self.strict,
             "ok": self.ok,
             "diagnostics": [d.to_json() for d in self.diagnostics],
+            "waived": [d.to_json() for d in self.waived],
+            "waivers": dict(self.waivers),
             "footprints": {
                 name: fp.to_json() for name, fp in sorted(self.footprints.items())
             },
@@ -93,12 +128,18 @@ class ContractReport:
         lines.append("=" * len(lines[0]))
         if self.diagnostics:
             lines.append("")
-            lines.append(f"Determinism diagnostics ({len(self.diagnostics)}):")
+            lines.append(f"Diagnostics ({len(self.diagnostics)}):")
             for diag in self.diagnostics:
                 lines.append(f"  {diag}")
         else:
             lines.append("")
-            lines.append("Determinism: clean (no diagnostics)")
+            lines.append("Determinism + taint: clean (no diagnostics)")
+        if self.waived:
+            lines.append("")
+            lines.append(f"Waived findings ({len(self.waived)}):")
+            for diag in self.waived:
+                reason = self.waivers.get(diag.code, "")
+                lines.append(f"  {diag}  [waived: {reason}]")
 
         table = AsciiTable(
             ["event", "reads", "writes"], title="Inferred per-event KVS footprints"
@@ -121,23 +162,34 @@ class ContractReport:
 
 def _analyze(
     lint_diags: List[Diagnostic],
+    taint: TaintReport,
     footprints: Dict[str, Footprint],
     name: str,
     strict: bool,
 ) -> ContractReport:
+    merged = sorted(
+        list(lint_diags) + list(taint.diagnostics),
+        key=lambda d: (d.line, d.col, d.code),
+    )
     return ContractReport(
         contract=name,
-        diagnostics=lint_diags,
+        diagnostics=merged,
         footprints=footprints,
         conflicts=predict_conflicts(footprints),
         strict=strict,
+        waived=list(taint.waived),
+        waivers=dict(taint.waivers),
     )
 
 
 def analyze_contract(cls: type, strict: bool = True) -> ContractReport:
     """Run the full analysis suite over a live contract class."""
     return _analyze(
-        lint_contract(cls), infer_footprints(cls), cls.__name__, strict
+        lint_contract(cls),
+        taint_contract(cls),
+        infer_footprints(cls),
+        cls.__name__,
+        strict,
     )
 
 
@@ -147,6 +199,7 @@ def analyze_source(
     """Run the full analysis suite over contract source text."""
     return _analyze(
         lint_source(source),
+        taint_source(source, class_name=class_name),
         infer_footprints(source, class_name=class_name),
         class_name or "<generated>",
         strict,

@@ -1,0 +1,35 @@
+"""Process-level staticcheck telemetry.
+
+The telemetry subsystem deliberately has no global registry (each
+simulation session owns one), but the compile gate is *not* session
+code — it runs wherever contracts are compiled, including import time.
+This module owns the one registry for such process-level analyzer
+events, so operational dashboards can see how often the escape hatch
+(``compile_contract_source(strict=False/None)``) let findings through
+ungated.
+"""
+
+from __future__ import annotations
+
+from ..telemetry.metrics import MetricsRegistry
+
+__all__ = ["REGISTRY", "record_waived_findings"]
+
+#: Process-wide registry for analyzer metrics (scraped via
+#: ``REGISTRY.collect()`` like any session registry).
+REGISTRY = MetricsRegistry()
+
+
+def record_waived_findings(n: int, mode: str) -> None:
+    """Count findings a relaxed compile gate suppressed.
+
+    ``mode`` is how they were waived: ``"no-strict"`` (warnings let
+    through by ``strict=False``) or ``"gate-skipped"`` (every finding,
+    ``strict=None``).
+    """
+    if n > 0:
+        REGISTRY.counter(
+            "staticcheck_waivers_total",
+            help="findings suppressed by a relaxed compile gate",
+            mode=mode,
+        ).inc(n)

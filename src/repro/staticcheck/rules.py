@@ -311,20 +311,23 @@ class DeterminismVisitor(ast.NodeVisitor):
     # ------------------------------------------------------------------
     # DET003: unordered iteration
 
-    def visit_For(self, node: ast.For) -> None:
-        iter_expr = node.iter
-        sorted_wrapped = (
+    @staticmethod
+    def _unordered_iter(iter_expr: ast.AST) -> bool:
+        """True when ``iter_expr`` iterates a set in unordered fashion.
+
+        ``sorted(...)`` launders set iteration; ``list()``/``tuple()`` of
+        a set is still unordered, so only ``sorted`` is exempt.
+        """
+        if (
             isinstance(iter_expr, ast.Call)
             and isinstance(iter_expr.func, ast.Name)
-            and iter_expr.func.id in ("sorted", "list", "tuple")
-            # list()/tuple() of a set is still unordered — only sorted()
-            # launders set iteration.
             and iter_expr.func.id == "sorted"
-        )
-        target = iter_expr
-        if sorted_wrapped:
-            target = None
-        if target is not None and _is_set_expr(target):
+        ):
+            return False
+        return _is_set_expr(iter_expr)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._unordered_iter(node.iter):
             writes = _contains_state_write(node)
             self._emit(
                 node,
@@ -336,6 +339,28 @@ class DeterminismVisitor(ast.NodeVisitor):
         self._loop_depth += 1
         self.generic_visit(node)
         self._loop_depth -= 1
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        # Comprehensions iterate exactly like `for` loops; a set-fed
+        # generator makes the element order (and thus list/dict results,
+        # or any state writes in the element expression) peer-dependent.
+        for comp in getattr(node, "generators", []):
+            if self._unordered_iter(comp.iter):
+                writes = _contains_state_write(node)
+                self._emit(
+                    node,
+                    "DET003",
+                    "comprehension over a set is unordered across "
+                    "interpreter runs"
+                    + ("; the element expression writes world state" if writes else ""),
+                    severity=SEVERITY_ERROR if writes else SEVERITY_WARNING,
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
 
     def visit_While(self, node: ast.While) -> None:
         self._loop_depth += 1

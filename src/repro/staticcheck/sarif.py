@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 export for staticcheck findings.
+
+SARIF (Static Analysis Results Interchange Format) is what CI code-
+scanning UIs ingest — GitHub's ``upload-sarif`` action renders each
+result as an annotation on the offending line.  One run carries the
+combined determinism (DET) and cheat-vulnerability (CHT) findings for
+any number of analyzed contracts; waived CHT findings are exported as
+*suppressed* results, so the waiver is visible in the scan history
+rather than silently absent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .rules import Diagnostic, SEVERITY_ERROR
+from .taint import CHT_RULES
+
+__all__ = ["DET_RULES", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: One-line summaries of the determinism rules (mirrors ``rules.py``).
+DET_RULES: Dict[str, str] = {
+    "DET001": "nondeterministic value source (random, uuid, hash, ...)",
+    "DET002": "wall-clock read inside contract code",
+    "DET003": "iteration over an unordered collection",
+    "DET004": "I/O inside contract code",
+    "DET005": "cross-invocation shared state",
+    "DET006": "floating-point accumulation in a loop",
+    "DET007": "import of a nondeterminism-prone module",
+}
+
+
+def _level(diag: Diagnostic) -> str:
+    return "error" if diag.severity == SEVERITY_ERROR else "warning"
+
+
+def _result(diag: Diagnostic, uri: str, suppressed: bool = False) -> dict:
+    message = diag.message
+    if diag.context:
+        message = f"{diag.context}: {message}"
+    result = {
+        "ruleId": diag.code,
+        "level": _level(diag),
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {
+                        "startLine": max(diag.line, 1),
+                        "startColumn": max(diag.col, 0) + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "inSource", "justification": "STATICCHECK_WAIVERS entry"}
+        ]
+    return result
+
+
+def to_sarif(
+    findings: Iterable[Dict],
+    tool_version: str = "2.0",
+) -> dict:
+    """Assemble one SARIF log from per-contract finding groups.
+
+    ``findings`` is an iterable of dicts with keys:
+
+    * ``uri`` — artifact path the results anchor to (repo-relative
+      preferred; pseudo-URIs like ``contract://Doom`` are fine for
+      classes without a source file);
+    * ``diagnostics`` — active :class:`Diagnostic` items;
+    * ``waived`` — optional suppressed :class:`Diagnostic` items.
+    """
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": text},
+            "defaultConfiguration": {
+                "level": "warning" if code in ("CHT002", "DET006") else "error"
+            },
+        }
+        for code, text in sorted({**DET_RULES, **CHT_RULES}.items())
+    ]
+    results: List[dict] = []
+    for group in findings:
+        uri = group["uri"]
+        for diag in group.get("diagnostics", []):
+            results.append(_result(diag, uri))
+        for diag in group.get("waived", []):
+            results.append(_result(diag, uri, suppressed=True))
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-staticcheck",
+                        "informationUri": (
+                            "https://github.com/paper-repo-growth/repro"
+                        ),
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

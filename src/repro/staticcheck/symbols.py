@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 __all__ = ["Sym", "KeyPattern", "SymKind", "make_pattern", "may_collide", "covers_key"]
 
@@ -127,6 +127,98 @@ def _normalise(tokens: Sequence[Part]) -> List[Part]:
     return out
 
 
+def _nfa(tokens: Sequence[Part]) -> Tuple[List[List[Tuple[Optional[str], int]]], int]:
+    """Compile one segment into a tiny NFA over single characters.
+
+    A literal contributes one state per character; a placeholder becomes
+    ``[^/]+``: one any-char edge in, then an any-char self-loop that can
+    exit.  Edges are ``(char, next_state)`` with ``char=None`` meaning
+    "any non-``/`` character".  Returns (edges per state, accept state).
+    """
+    edges: List[List[Tuple[Optional[str], int]]] = [[]]
+    for token in tokens:
+        if isinstance(token, str):
+            for ch in token:
+                edges[-1].append((ch, len(edges)))
+                edges.append([])
+        else:  # placeholder: non-empty, no '/'
+            mid = len(edges)
+            edges[-1].append((None, mid))
+            edges.append([(None, mid)])  # self-loop on the wildcard
+            # the exit edge is added below as an epsilon-free shortcut:
+            # every edge out of `mid` is also reachable once >=1 char is
+            # consumed, so we simply continue appending edges to `mid`.
+            edges.append([])
+            edges[mid].append(("", len(edges) - 1))  # epsilon exit marker
+    return edges, len(edges) - 1
+
+
+_Edges = List[List[Tuple[Optional[str], int]]]
+
+
+def _closure(states: FrozenSet[int], edges: _Edges) -> FrozenSet[int]:
+    """Follow epsilon exit markers (``char == ""``)."""
+    out = set(states)
+    stack = list(states)
+    while stack:
+        state = stack.pop()
+        for char, nxt in edges[state]:
+            if char == "" and nxt not in out:
+                out.add(nxt)
+                stack.append(nxt)
+    return frozenset(out)
+
+
+def _step(states: FrozenSet[int], char: Optional[str], edges: _Edges) -> FrozenSet[int]:
+    """All states reachable by consuming one concrete character.
+
+    ``char=None`` means a *free* character distinct from every literal
+    (only wildcard edges can consume it); a literal ``char`` is consumed
+    by its own edge or by any wildcard edge.
+    """
+    out = set()
+    for state in states:
+        for edge_char, nxt in edges[state]:
+            if edge_char == "":
+                continue  # epsilon, handled by closure
+            if edge_char is None or (char is not None and edge_char == char):
+                out.add(nxt)
+    return _closure(frozenset(out), edges)
+
+
+def _tokens_may_equal(a: Sequence[Part], b: Sequence[Part]) -> bool:
+    """Exact emptiness test for the intersection of two segment patterns.
+
+    Placeholders are modelled as ``[^/]+`` regardless of provenance (the
+    caller applies the provenance rules first), so this is a sound
+    over-approximation and *precise* on the literal structure: it rules
+    out prefix-aliasing pairs like ``asset/1`` vs ``asset/1{x}`` (the
+    placeholder must add at least one character) and ``10{x}`` vs ``1``.
+    """
+    edges_a, accept_a = _nfa(a)
+    edges_b, accept_b = _nfa(b)
+    alphabet = sorted(
+        {ch for token in [*a, *b] if isinstance(token, str) for ch in token}
+    )
+    start = (_closure(frozenset([0]), edges_a), _closure(frozenset([0]), edges_b))
+    seen = {start}
+    queue = [start]
+    while queue:
+        sa, sb = queue.pop()
+        if accept_a in sa and accept_b in sb:
+            return True
+        for char in [*alphabet, None]:
+            na = _step(sa, char, edges_a)
+            nb = _step(sb, char, edges_b)
+            if not na or not nb:
+                continue
+            nxt = (na, nb)
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return False
+
+
 def _segments_may_equal(a: Sequence[Part], b: Sequence[Part], same_creator: bool) -> bool:
     """Can two key segments expand to the same text?"""
     a = _normalise(a)
@@ -143,26 +235,12 @@ def _segments_may_equal(a: Sequence[Part], b: Sequence[Part], same_creator: bool
             return same_creator
         return True
 
-    # Mixed segments: compare the literal prefixes and suffixes that
-    # survive around the placeholders; incompatible literals rule the
-    # collision out, otherwise stay conservative.
-    def literal_prefix(tokens: Sequence[Part]) -> str:
-        return tokens[0] if tokens and isinstance(tokens[0], str) else ""
-
-    def literal_suffix(tokens: Sequence[Part]) -> str:
-        return tokens[-1] if tokens and isinstance(tokens[-1], str) else ""
-
-    pa, pb = literal_prefix(a), literal_prefix(b)
-    shared = min(len(pa), len(pb))
-    if pa[:shared] != pb[:shared]:
-        return False
-    sa, sb = literal_suffix(a), literal_suffix(b)
-    shared = min(len(sa), len(sb))
-    if shared and sa[-shared:] != sb[-shared:]:
-        return False
-    # A nonce placeholder anywhere keeps the never-collides guarantee
-    # only when it spans the whole segment; embedded, stay conservative.
-    return True
+    # Mixed segments: exact intersection test with every placeholder
+    # widened to [^/]+.  Provenance distinctions (nonce uniqueness,
+    # creator equality) only ever *remove* collisions and apply to
+    # whole-segment placeholders above; embedded placeholders stay
+    # conservative, which keeps the verdict an over-approximation.
+    return _tokens_may_equal(a, b)
 
 
 def may_collide(a: KeyPattern, b: KeyPattern, same_creator: bool) -> bool:

@@ -113,6 +113,89 @@ class TestDet003UnorderedIteration:
         assert "DET003" in codes(diags)
 
 
+class TestDet003Comprehensions:
+    """Comprehensions iterate exactly like for-loops — a set-fed
+    generator must trip DET003 whether it builds a list, dict, set or
+    generator expression."""
+
+    def test_list_comprehension_over_set_is_warning(self):
+        diags = lint_source(contract_with("names = [p for p in {'a', 'b'}]"))
+        det3 = [d for d in diags if d.code == "DET003"]
+        assert det3 and det3[0].severity == SEVERITY_WARNING
+
+    def test_list_comprehension_writing_state_is_error(self):
+        body = "_ = [ctx.view.put(p, 1) for p in {'a', 'b'}]"
+        diags = lint_source(contract_with(body))
+        det3 = [d for d in diags if d.code == "DET003"]
+        assert det3 and det3[0].severity == SEVERITY_ERROR
+
+    def test_dict_comprehension_over_set_call_flagged(self):
+        body = "d = {p: 1 for p in set(payload)}"
+        diags = lint_source(contract_with(body))
+        assert "DET003" in codes(diags)
+
+    def test_generator_expression_over_set_flagged(self):
+        body = "total = sum(1 for p in {'a', 'b'})"
+        diags = lint_source(contract_with(body))
+        assert "DET003" in codes(diags)
+
+    def test_nested_generator_over_set_flagged(self):
+        body = "pairs = [(a, b) for a in payload.get('xs', []) for b in {'l', 'r'}]"
+        diags = lint_source(contract_with(body))
+        assert "DET003" in codes(diags)
+
+    def test_sorted_set_comprehension_is_fine(self):
+        body = "names = [p for p in sorted({'a', 'b'})]"
+        diags = lint_source(contract_with(body))
+        assert "DET003" not in codes(diags)
+
+    def test_set_comprehension_over_list_is_fine(self):
+        # Building a set is deterministic; only *iterating* one isn't.
+        body = "s = {p for p in payload.get('names', [])}"
+        diags = lint_source(contract_with(body))
+        assert "DET003" not in codes(diags)
+
+
+class TestDetRulesInNestedConstructs:
+    """The visitor must reach code hidden inside walrus expressions and
+    nested function definitions."""
+
+    def test_walrus_random_flagged(self):
+        body = "if (r := random.random()) > 0.5:\n    ctx.view.put('k', r)"
+        diags = lint_source(contract_with(body))
+        assert "DET001" in codes(diags)
+
+    def test_walrus_plain_assignment_is_fine(self):
+        body = "if (n := payload.get('n', 0)) > 0:\n    ctx.view.put('k', n)"
+        diags = lint_source(contract_with(body))
+        assert diags == []
+
+    def test_nested_function_wall_clock_flagged(self):
+        body = (
+            "def stamp():\n"
+            "    return time.time()\n"
+            "ctx.view.put('k', stamp())"
+        )
+        diags = lint_source(contract_with(body))
+        assert "DET002" in codes(diags)
+
+    def test_nested_function_set_loop_flagged(self):
+        body = (
+            "def fanout():\n"
+            "    for p in {'a', 'b'}:\n"
+            "        ctx.view.put(p, 1)\n"
+            "fanout()"
+        )
+        diags = lint_source(contract_with(body))
+        det3 = [d for d in diags if d.code == "DET003"]
+        assert det3 and det3[0].severity == SEVERITY_ERROR
+
+    def test_lambda_with_hash_builtin_flagged(self):
+        body = "key = (lambda v: hash(v))(ctx.creator)"
+        diags = lint_source(contract_with(body))
+        assert "DET001" in codes(diags)
+
+
 # ----------------------------------------------------------------------
 # DET004 — I/O
 
@@ -247,6 +330,45 @@ class TestCompileGate:
     def test_escape_hatch_compiles_anyway(self):
         cls = compile_contract_source(HAZARDOUS_SOURCE, strict=None)
         assert cls.__name__ == "RiggedContract"
+
+    def test_escape_hatch_counts_waived_findings(self):
+        from repro.staticcheck.metrics import REGISTRY
+
+        def counter_value(mode):
+            return sum(
+                m.value
+                for m in REGISTRY.collect()
+                if m.name == "staticcheck_waivers_total"
+                and ("mode", mode) in m.labels
+            )
+
+        before = counter_value("gate-skipped")
+        compile_contract_source(HAZARDOUS_SOURCE, strict=None)
+        assert counter_value("gate-skipped") > before
+
+        # strict=False waives warnings only (print is a DET004 warning)
+        noisy = HAZARDOUS_SOURCE.replace(
+            "ctx.view.put(\"dice\", random.randint(1, 6))", "print('x')"
+        ).replace("import random\n", "")
+        before = counter_value("no-strict")
+        compile_contract_source(noisy, strict=False)
+        assert counter_value("no-strict") > before
+
+    def test_strict_compile_does_not_touch_the_counter(self):
+        from repro.core.codegen import generate_contract_source
+        from repro.core.doomspec import doom_spec
+        from repro.staticcheck.metrics import REGISTRY
+
+        def total():
+            return sum(
+                m.value
+                for m in REGISTRY.collect()
+                if m.name == "staticcheck_waivers_total"
+            )
+
+        before = total()
+        compile_contract_source(generate_contract_source(doom_spec()))
+        assert total() == before
 
     def test_clean_generated_source_passes(self):
         from repro.core.codegen import generate_contract_source
