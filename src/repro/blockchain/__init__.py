@@ -26,6 +26,16 @@ from .crypto import (
     generate_keypair,
     merkle_root,
     sha256_hex,
+    verify_batch,
+)
+from .execution import (
+    ParallelValidationExecutor,
+    SerialValidationExecutor,
+    ValidationExecutor,
+    clear_execution_cache,
+    execution_stats,
+    make_executor,
+    reset_execution_stats,
 )
 from .identity import (
     Certificate,
@@ -76,10 +86,18 @@ __all__ = [
     "generate_keypair",
     "merkle_root",
     "sha256_hex",
+    "verify_batch",
     "Certificate",
     "CertificateAuthority",
     "Identity",
     "MembershipProvider",
+    "ValidationExecutor",
+    "SerialValidationExecutor",
+    "ParallelValidationExecutor",
+    "make_executor",
+    "execution_stats",
+    "reset_execution_stats",
+    "clear_execution_cache",
     "Ledger",
     "LedgerError",
     "TxExecution",

@@ -95,6 +95,30 @@ class FabricConfig:
     #: transactions are provably independent.
     conflict_planner: bool = False
 
+    #: Lane-parallel block validation (consumes the planner's lanes): when
+    #: enabled, peers validate a block's provably-independent transaction
+    #: lanes through the parallel :class:`~repro.blockchain.execution.
+    #: ValidationExecutor` instead of the serial one, and the ordering
+    #: service is armed with the ConflictPlanner automatically.  Simulated
+    #: results — digests, ledgers, votes, telemetry spans, golden records
+    #: — are bit-identical either way (pinned by the differential suite in
+    #: ``tests/test_validation_parallel_diff.py``); the executor only
+    #: changes how the *host* computes them.
+    parallel_validation: bool = False
+    #: Worker threads for the parallel executor; 0 means auto (one worker
+    #: per available core, capped at 4).  With one worker the executor
+    #: still partitions by lane and merges deterministically, but runs the
+    #: lanes inline instead of paying thread-pool overhead.
+    validation_workers: int = 0
+    #: Cross-peer block-execution memoisation: peers executing the *same*
+    #: block object on the *same* basis state (same genesis, contracts and
+    #: pre-block state hash) reuse the first peer's execution results
+    #: instead of re-running contracts and signature checks.  Execution is
+    #: deterministic, so the shared results are exactly what each peer
+    #: would have computed; peers with instance-patched execution paths
+    #: (chaos buggy fixtures) bypass the cache automatically.
+    shared_execution_cache: bool = True
+
     #: Extension addressing limitation §8(2): contract functions listed
     #: here are ordered ahead of others within a block (a C/S server
     #: "may prioritize SHOOT events over location updates"); the default
@@ -110,3 +134,5 @@ class FabricConfig:
             raise ValueError("max_block_txs must be >= 1")
         if self.batch_timeout_ms <= 0:
             raise ValueError("batch_timeout_ms must be positive")
+        if self.validation_workers < 0:
+            raise ValueError("validation_workers must be >= 0 (0 = auto)")

@@ -128,11 +128,13 @@ class BlockchainNetwork:
         orderer with a :class:`repro.staticcheck.plan.ConflictPlanner`
         built from the contract's static footprints, so every cut block
         records its provably-independent validation lanes.
+        ``config.parallel_validation`` arms the planner too: the parallel
+        executor consumes the lanes, so blocks must carry them.
         """
         instances = [factory() for _ in self.peers]
         for peer, instance in zip(self.peers, instances):
             peer.install_contract(instance)
-        if self.config.conflict_planner and instances:
+        if (self.config.conflict_planner or self.config.parallel_validation) and instances:
             from ..staticcheck.plan import ConflictPlanner
 
             self.orderer.planner = ConflictPlanner.for_contract(

@@ -204,5 +204,4 @@ class OrderingService(Host):
             self._cut_block()
 
     def _deliver(self, block: Block, size: int) -> None:
-        for peer in self._peers:
-            self.send(peer, DeliverBlock(block), size_bytes=size)
+        self.send_many(self._peers, DeliverBlock(block), size_bytes=size)

@@ -25,12 +25,14 @@ other peer per block, per-block CPU grows linearly with the peer count
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..simnet.topology import Host
 from .block import Block
 from .config import FabricConfig
 from .contracts import Contract, execute_transaction
+from .execution import make_executor
 from .identity import Identity, MembershipProvider
 from .ledger import Ledger, TxExecution
 from .messages import (
@@ -68,6 +70,9 @@ class Peer(Host):
         self.config = config if config is not None else FabricConfig()
         self.ledger = Ledger(genesis)
         self.contracts: Dict[str, Contract] = {}
+        #: Block-validation strategy (serial or lane-parallel), selected
+        #: by ``FabricConfig``; see :mod:`repro.blockchain.execution`.
+        self.executor = make_executor(self.config)
 
         self._electorate: List[str] = [name]
         self._peers: List[Host] = []
@@ -76,7 +81,14 @@ class Peer(Host):
         self._pending_blocks: Dict[int, Block] = {}
         self._executions: Dict[int, List[TxExecution]] = {}
         self._votes: Dict[int, Dict[str, Tuple[bool, ...]]] = {}
+        #: Incremental per-block tally: one ``[yes, cast]`` pair per tx
+        #: index, maintained by _record_vote so _try_commit's majority
+        #: fast path is O(txs) per call instead of O(txs × votes).
+        self._vote_tally: Dict[int, List[List[int]]] = {}
         self._sync_hashes: Dict[int, Dict[str, str]] = {}
+        #: Incremental per-block count of recorded sync hashes by value,
+        #: mirroring _sync_hashes for O(1) quorum checks in _try_sync.
+        self._sync_match: Dict[int, Dict[str, int]] = {}
         self._own_hash: Dict[int, str] = {}
 
         self._executed_height = 0
@@ -152,7 +164,9 @@ class Peer(Host):
         self._pending_blocks.clear()
         self._executions.clear()
         self._votes.clear()
+        self._vote_tally.clear()
         self._sync_hashes.clear()
+        self._sync_match.clear()
         self._own_hash.clear()
         self._commit_scheduled.clear()
         self._executing = False
@@ -197,7 +211,14 @@ class Peer(Host):
             start = self._cpu_free_at
         done = start + cost_ms
         self._cpu_free_at = done
-        sched.call_at_anon(done, self._run_if_alive, self._generation, fn, *args)
+        # Inlined Scheduler.call_at_anon (same seq counter, one fewer
+        # Python call on the busiest peer path; done >= now always).
+        seq = sched._seq
+        sched._seq = seq + 1
+        heappush(
+            sched._queue, (done, seq, self._run_if_alive, (self._generation, fn) + args)
+        )
+        sched._live += 1
 
     def _run_if_alive(self, generation: int, fn: Callable, *args) -> None:
         """Drop callbacks scheduled before a crash: that work died with
@@ -213,10 +234,29 @@ class Peer(Host):
         # and sync-hash gossip is O(N²) per block while deliveries are
         # O(N) — the two hot arms go first.
         kind = type(payload)
-        if kind is VoteMsg:
-            self._compute(self.config.vote_verify_ms, self._on_vote, src, payload)
-        elif kind is SyncHashMsg:
-            self._compute(self.config.sync_verify_ms, self._on_sync_hash, src, payload)
+        if kind is VoteMsg or kind is SyncHashMsg:
+            # _compute + Scheduler.call_at_anon, inlined: this pair of
+            # arms fires O(N²) times per block and the two saved Python
+            # calls per message are measurable at 32 peers.
+            if kind is VoteMsg:
+                cost = self.config.vote_verify_ms
+                fn = self._on_vote
+            else:
+                cost = self.config.sync_verify_ms
+                fn = self._on_sync_hash
+            sched = self.network.scheduler
+            start = sched._now
+            if self._cpu_free_at > start:
+                start = self._cpu_free_at
+            done = start + cost
+            self._cpu_free_at = done
+            seq = sched._seq
+            sched._seq = seq + 1
+            heappush(
+                sched._queue,
+                (done, seq, self._run_if_alive, (self._generation, fn, src, payload)),
+            )
+            sched._live += 1
         elif kind is DeliverBlock:
             self._on_block(payload.block)
         elif kind is QueryTxStatus:
@@ -285,20 +325,12 @@ class Peer(Host):
         self._compute(cost, self._finish_execute, block)
 
     def _finish_execute(self, block: Block) -> None:
-        executions: List[TxExecution] = []
-        # Speculative copy-on-write view: earlier in-block writes are
-        # visible to later transactions at their *committed* versions
-        # (Fabric's execution-stage read semantics) without cloning or
-        # touching the real state.
-        overlay = self.ledger.state.overlay()
-        written: Set[str] = set()
-        for tx in block.transactions:
-            execution = self._execute_one(tx, overlay, written)
-            executions.append(execution)
-            if execution.code == TxValidationCode.VALID:
-                for key, value in execution.rwset.writes:
-                    overlay.put_speculative(key, value)
-                    written.add(key)
+        # Strategy-pluggable execution (serial loop or planner-guided
+        # lanes, possibly sharing results across peers); whichever
+        # strategy runs, the executions are bit-identical to the in-order
+        # loop over one speculative overlay — see
+        # :mod:`repro.blockchain.execution` for the determinism argument.
+        executions = self.executor.execute_block(self, block)
         self._executions[block.number] = executions
         self._executed_height = block.number
         self._executing = False
@@ -316,16 +348,22 @@ class Peer(Host):
             VoteMsg(block_number=block.number, voter=self.name, votes=votes)
         )
         msg = VoteMsg(block_number=block.number, voter=self.name, votes=votes)
-        size = self.config.vote_msg_bytes
-        for peer in self._peers:
-            self.send(peer, msg, size_bytes=size)
+        self.send_many(self._peers, msg, size_bytes=self.config.vote_msg_bytes)
         self._try_commit(block.number)
         self._ensure_anti_entropy()
 
     def _execute_one(
-        self, tx: Transaction, overlay: "WorldStateOverlay", written: Set[str]
+        self,
+        tx: Transaction,
+        overlay: "WorldStateOverlay",
+        written: Set[str],
+        sig_checked: bool = False,
     ) -> TxExecution:
-        if self.config.verify_signatures:
+        # ``sig_checked=True`` means the executor already resolved the
+        # certificate and endorsement signatures for the whole block in
+        # one batched pass; instance-patched peers (chaos fixtures) keep
+        # the historical 3-argument call and check inline here.
+        if self.config.verify_signatures and not sig_checked:
             if not self.msp.validate(tx.certificate):
                 return TxExecution(rwset=_empty_rwset(), code=TxValidationCode.BAD_CERTIFICATE)
             if not tx.verify_signature():
@@ -343,6 +381,12 @@ class Peer(Host):
         if touched & written:
             return TxExecution(rwset=execution.rwset, code=TxValidationCode.MVCC_READ_CONFLICT)
         return execution
+
+    #: The pristine execution hook, recorded at class-creation time so the
+    #: executor layer can detect instance- or subclass-patched peers
+    #: (chaos buggy fixtures) without a peer → execution import cycle;
+    #: see ``execution._is_patched``.
+    _baseline_execute_one = _execute_one
 
     # ------------------------------------------------------------------
     # stage 1b: vote collection + commit
@@ -374,7 +418,29 @@ class Peer(Host):
         by_peer = self._votes.get(msg.block_number)
         if by_peer is None:
             by_peer = self._votes[msg.block_number] = {}
-        by_peer[msg.voter] = msg.votes
+        votes = msg.votes
+        old = by_peer.get(msg.voter)
+        if old == votes:
+            return  # duplicate (anti-entropy re-broadcast): tally unchanged
+        by_peer[msg.voter] = votes
+        # Maintain the running per-tx [yes, cast] tally (overwrite-aware:
+        # a voter re-voting differently first backs out its old ballot).
+        tally = self._vote_tally.get(msg.block_number)
+        if tally is None:
+            tally = self._vote_tally[msg.block_number] = []
+        while len(tally) < len(votes):
+            tally.append([0, 0])
+        if old is not None:
+            for i, vote in enumerate(old):
+                pair = tally[i]
+                pair[1] -= 1
+                if vote:
+                    pair[0] -= 1
+        for i, vote in enumerate(votes):
+            pair = tally[i]
+            pair[1] += 1
+            if vote:
+                pair[0] += 1
 
     def _try_commit(self, block_number: int) -> None:
         nxt = self._committed_height + 1
@@ -398,19 +464,18 @@ class Peer(Host):
             votes_by_peer = self._votes.get(nxt, {})
             decisions = []
             if self.policy.is_simple_majority:
-                # Count-based fast path: voters are already filtered to
-                # the electorate by _record_vote, so tallying yes/cast is
-                # equivalent to building the per-tx vote dict — and this
-                # runs once per vote received per pending transaction.
-                vote_tuples = list(votes_by_peer.values())
+                # Count-based fast path over the incremental tally kept by
+                # _record_vote: voters are already filtered to the
+                # electorate there, so the running [yes, cast] pairs equal
+                # the per-tx counts a full re-tally would produce — and
+                # this runs once per vote received per pending block.
+                tally = self._vote_tally.get(nxt, [])
+                n_tally = len(tally)
                 for i in range(len(block.transactions)):
-                    yes = 0
-                    cast = 0
-                    for votes in vote_tuples:
-                        if i < len(votes):
-                            cast += 1
-                            if votes[i]:
-                                yes += 1
+                    if i < n_tally:
+                        yes, cast = tally[i]
+                    else:
+                        yes = cast = 0
                     decisions.append(self.policy.decided_counts(yes, cast, total))
             else:
                 for i in range(len(block.transactions)):
@@ -447,6 +512,7 @@ class Peer(Host):
             self.telemetry.block_committed(self.name, block, codes)
         self._pending_blocks.pop(block.number, None)
         self._votes.pop(block.number, None)
+        self._vote_tally.pop(block.number, None)
         self._commit_scheduled.discard(block.number)
 
         # stage 2: ledger synchronisation.  State transfer runs on the
@@ -479,9 +545,7 @@ class Peer(Host):
             block_number=block_number, sender=self.name, state_hash=state_hash
         )
         self._record_sync_hash(msg)
-        size = self.config.sync_msg_bytes
-        for peer in self._peers:
-            self.send(peer, msg, size_bytes=size)
+        self.send_many(self._peers, msg, size_bytes=self.config.sync_msg_bytes)
         self._try_sync(block_number)
         self._ensure_anti_entropy()
 
@@ -514,7 +578,18 @@ class Peer(Host):
         by_sender = self._sync_hashes.get(msg.block_number)
         if by_sender is None:
             by_sender = self._sync_hashes[msg.block_number] = {}
+        old = by_sender.get(msg.sender)
+        if old == msg.state_hash:
+            return  # duplicate (anti-entropy re-broadcast): counts unchanged
         by_sender[msg.sender] = msg.state_hash
+        # Running count of attestations by hash value (overwrite-aware),
+        # so _try_sync's quorum check is one dict get, not a scan.
+        counts = self._sync_match.get(msg.block_number)
+        if counts is None:
+            counts = self._sync_match[msg.block_number] = {}
+        if old is not None:
+            counts[old] -= 1
+        counts[msg.state_hash] = counts.get(msg.state_hash, 0) + 1
 
     def _try_sync(self, block_number: int) -> None:
         nxt = self._synced_height + 1
@@ -522,8 +597,8 @@ class Peer(Host):
             if nxt > self._committed_height or nxt not in self._own_hash:
                 return
             own = self._own_hash[nxt]
-            hashes = self._sync_hashes.get(nxt, {})
-            matching = sum(1 for h in hashes.values() if h == own)
+            counts = self._sync_match.get(nxt)
+            matching = counts.get(own, 0) if counts is not None else 0
             if matching * 2 <= len(self._electorate) and nxt >= self._catch_up_below:
                 return  # (catch-up blocks were synchronised network-wide
                 #          already; no fresh quorum will form for them)
@@ -532,6 +607,7 @@ class Peer(Host):
             if self.telemetry is not None:
                 self.telemetry.block_synced(self.name, nxt)
             self._sync_hashes.pop(nxt, None)
+            self._sync_match.pop(nxt, None)
             self._own_hash.pop(nxt, None)
             synced_block = self.ledger.block(nxt)
             if self.on_block_synced is not None:
@@ -592,16 +668,14 @@ class Peer(Host):
         own_votes = self._votes.get(nxt, {}).get(self.name)
         if own_votes is not None:
             msg = VoteMsg(block_number=nxt, voter=self.name, votes=own_votes)
-            for peer in self._peers:
-                self.send(peer, msg, size_bytes=self.config.vote_msg_bytes)
+            self.send_many(self._peers, msg, size_bytes=self.config.vote_msg_bytes)
         to_sync = self._synced_height + 1
         if to_sync <= self._committed_height and to_sync in self._own_hash:
             msg = SyncHashMsg(
                 block_number=to_sync, sender=self.name,
                 state_hash=self._own_hash[to_sync],
             )
-            for peer in self._peers:
-                self.send(peer, msg, size_bytes=self.config.sync_msg_bytes)
+            self.send_many(self._peers, msg, size_bytes=self.config.sync_msg_bytes)
         missing = [
             n
             for n in range(nxt, self._catch_up_below)

@@ -39,6 +39,12 @@ def main(argv=None) -> int:
         help="output JSON path (default: %(default)s)",
     )
     parser.add_argument(
+        "--executor", choices=("serial", "parallel"), default=None,
+        help="block-validation executor for the replay workloads; the two "
+        "modes are bit-identical, so either can be --check'ed against the "
+        "same baseline (default: the workloads' own default, serial)",
+    )
+    parser.add_argument(
         "--check", metavar="BASELINE",
         help="compare against a baseline JSON; exit 1 on >tolerance regression "
         "or any simulated-metric divergence",
@@ -61,7 +67,7 @@ def main(argv=None) -> int:
 
     record = run_suite(
         quick=args.quick, profile=args.profile, only=args.only,
-        trace_dir=args.trace,
+        trace_dir=args.trace, executor=args.executor,
     )
 
     if args.baseline_of:

@@ -59,6 +59,7 @@ def run_suite(
     only: Optional[List[str]] = None,
     verbose: bool = True,
     trace_dir: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the workload suite and return the BENCH_engine record.
 
@@ -70,6 +71,12 @@ def run_suite(
     host-side only, so simulated metrics are identical either way —
     but ``wall_s`` includes the recording overhead, so traced runs
     should not be gated against an untraced baseline.
+
+    ``executor`` ("serial" / "parallel") selects the block-validation
+    executor for the workloads that take one (the full-stack replays).
+    The modes are bit-identical by contract, so a parallel run gates
+    cleanly against a serial baseline — the sim-metric comparison then
+    doubles as a differential check.
     """
     selected = [w for w in WORKLOADS if only is None or w.name in only]
     if only is not None:
@@ -89,6 +96,8 @@ def run_suite(
         "calibration_ms": round(cal, 3),
         "workloads": {},
     }
+    if executor is not None:
+        record["executor"] = executor
     t0 = time.perf_counter()
     for workload in selected:
         if verbose:
@@ -98,7 +107,7 @@ def run_suite(
             from ..telemetry import Telemetry
 
             telemetry = Telemetry()
-        result = workload.run(quick=quick, telemetry=telemetry)
+        result = workload.run(quick=quick, telemetry=telemetry, executor=executor)
         entry = result.as_record()
         entry["normalized"] = round(result.wall_s * 1000.0 / cal, 4)
         if telemetry is not None:
@@ -164,9 +173,30 @@ def check_against_baseline(
     that, timer and calibration noise dwarf any real engine change.
     Simulated metrics must match exactly regardless of size: the engine
     may get faster, never different.
+
+    A malformed baseline (no ``workloads`` mapping) and workloads present
+    in the current run but absent from the baseline are reported as
+    explicit problems rather than raising or passing silently: both mean
+    the baseline predates the current suite and must be regenerated.
     """
     problems: List[str] = []
-    for name, base_entry in baseline.get("workloads", {}).items():
+    base_workloads = baseline.get("workloads")
+    if not isinstance(base_workloads, dict):
+        return (
+            False,
+            [
+                "baseline is malformed: no 'workloads' mapping "
+                "(regenerate it with python -m repro.perf)"
+            ],
+        )
+    cur_workloads = current.get("workloads", {})
+    for name in sorted(cur_workloads):
+        if name not in base_workloads:
+            problems.append(
+                f"{name}: present in current run but missing from baseline "
+                "(stale baseline — regenerate it with python -m repro.perf)"
+            )
+    for name, base_entry in base_workloads.items():
         cur_entry = current.get("workloads", {}).get(name)
         if cur_entry is None:
             problems.append(f"{name}: missing from current run")

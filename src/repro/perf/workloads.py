@@ -54,14 +54,22 @@ class WorkloadResult:
     params: Dict[str, Any] = field(default_factory=dict)
     #: Simulated outcome — must not change across engine optimisations.
     sim_metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Validation-executor mode the run used ("serial" / "parallel"),
+    #: for workloads that support both.  Deliberately *not* part of
+    #: ``params``: the two modes are bit-identical by contract, so a
+    #: parallel run may be gated against a serial baseline.
+    executor: Optional[str] = None
 
     def as_record(self) -> Dict[str, Any]:
-        return {
+        record = {
             "name": self.name,
             "wall_s": round(self.wall_s, 4),
             "params": self.params,
             "sim_metrics": self.sim_metrics,
         }
+        if self.executor is not None:
+            record["executor"] = self.executor
+        return record
 
 
 @dataclass(frozen=True)
@@ -76,11 +84,19 @@ class Workload:
     #: Whether the workload accepts a ``telemetry=`` kwarg (full-stack
     #: replays do; micro-benchmarks with no pipeline to trace do not).
     traceable: bool = False
+    #: Whether the workload accepts an ``executor=`` kwarg (full-stack
+    #: replays validate blocks through a ValidationExecutor; the
+    #: micro-benchmarks have no peer pipeline to switch).
+    takes_executor: bool = False
 
-    def run(self, quick: bool = False, telemetry=None) -> WorkloadResult:
+    def run(
+        self, quick: bool = False, telemetry=None, executor: Optional[str] = None
+    ) -> WorkloadResult:
         kwargs = dict(self.quick if quick else self.full)
         if telemetry is not None and self.traceable:
             kwargs["telemetry"] = telemetry
+        if executor is not None and self.takes_executor:
+            kwargs["executor"] = executor
         return self.fn(**kwargs)
 
 
@@ -253,7 +269,11 @@ def _session9_prefix(n_events: int):
 
 
 def session_replay(
-    n_peers: int = 32, n_events: int = 2500, seed: int = 7, telemetry=None
+    n_peers: int = 32,
+    n_events: int = 2500,
+    seed: int = 7,
+    telemetry=None,
+    executor: str = "serial",
 ) -> WorkloadResult:
     """Replay a prefix of session #9 (the paper's longest trace) through
     the real shim + blockchain + simnet stack.
@@ -263,14 +283,34 @@ def session_replay(
     contract the engine optimisations must preserve.  An optional
     :class:`repro.telemetry.Telemetry` traces the run; being host-side
     only, it never changes the simulated metrics (only ``wall_s``).
+    ``executor`` selects the block-validation executor ("serial" or
+    "parallel"); the two are bit-identical by contract (enforced by
+    ``tests/test_validation_parallel_diff.py``), so either mode may be
+    gated against the same baseline.
     """
     from ..core import GameSession
 
+    if executor not in ("serial", "parallel"):
+        raise ValueError(f"unknown executor mode {executor!r}")
     demo = _session9_prefix(n_events)
+    if executor == "parallel":
+        # The conflict planner's static analysis is a pure function of the
+        # contract class, memoised process-wide; build it here so the first
+        # parallel replay in a process doesn't pay it inside the timed
+        # region (the demo parse above is untimed setup for the same
+        # reason).
+        from ..core.doom_contract import DoomContract
+        from ..staticcheck.plan import ConflictPlanner
+
+        ConflictPlanner.for_contract(DoomContract)
     t0 = time.perf_counter()
     session = GameSession(
         n_peers=n_peers,
-        fabric_config=FabricConfig(max_block_txs=5, mutually_exclusive_blocks=True),
+        fabric_config=FabricConfig(
+            max_block_txs=5,
+            mutually_exclusive_blocks=True,
+            parallel_validation=(executor == "parallel"),
+        ),
         seed=seed,
     )
     if telemetry is not None:
@@ -287,6 +327,7 @@ def session_replay(
         name=f"replay-{n_peers}p",
         wall_s=wall,
         params={"n_peers": n_peers, "n_events": n_events, "seed": seed},
+        executor=executor,
         sim_metrics={
             "accepted": stats.accepted_events,
             "rejected": stats.rejected_events,
@@ -322,6 +363,7 @@ WORKLOADS: Tuple[Workload, ...] = (
         full={"n_peers": 4, "n_events": 2500, "seed": 7},
         quick={"n_peers": 4, "n_events": 300, "seed": 7},
         traceable=True,
+        takes_executor=True,
     ),
     Workload(
         name="replay-16p",
@@ -329,6 +371,7 @@ WORKLOADS: Tuple[Workload, ...] = (
         full={"n_peers": 16, "n_events": 2500, "seed": 7},
         quick={"n_peers": 16, "n_events": 200, "seed": 7},
         traceable=True,
+        takes_executor=True,
     ),
     Workload(
         name="replay-32p",
@@ -336,5 +379,6 @@ WORKLOADS: Tuple[Workload, ...] = (
         full={"n_peers": 32, "n_events": 2500, "seed": 7},
         quick={"n_peers": 32, "n_events": 200, "seed": 7},
         traceable=True,
+        takes_executor=True,
     ),
 )

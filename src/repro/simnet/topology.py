@@ -32,12 +32,33 @@ class Host:
         self.name = name
         self.region = region
         self.network: Optional[Any] = None  # set by Network.register
+        #: The host's mutable HostCondition, pinned here by
+        #: Network.register so the transport hot paths read it with one
+        #: attribute load instead of a per-message dict lookup.
+        self._condition: Optional[Any] = None
 
     def send(self, dst: "Host", payload: Any, size_bytes: int = 256) -> None:
         """Send ``payload`` to ``dst`` through the attached network."""
         if self.network is None:
             raise RuntimeError(f"host {self.name!r} is not attached to a network")
         self.network.send(self, dst, payload, size_bytes)
+
+    def send_many(self, dsts, payload: Any, size_bytes: int = 256) -> None:
+        """Send ``payload`` to every host in ``dsts`` (broadcast fast path).
+
+        Equivalent to calling :meth:`send` per destination, in order —
+        same RNG draws, same delivery times.  When ``send`` itself has
+        been instance- or subclass-patched (byzantine/chaos fixtures
+        tamper with outgoing messages there), the broadcast must keep
+        routing through it, so the fast path stands aside.
+        """
+        if self.network is None:
+            raise RuntimeError(f"host {self.name!r} is not attached to a network")
+        if "send" in self.__dict__ or type(self).send is not Host.send:
+            for dst in dsts:
+                self.send(dst, payload, size_bytes=size_bytes)
+            return
+        self.network.send_many(self, dsts, payload, size_bytes)
 
     def handle_message(self, src: "Host", payload: Any) -> None:
         """Called when a message is delivered to this host.  Override."""

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from heapq import heappush
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .clock import Scheduler
 from .latency import LatencyProfile
@@ -129,10 +130,16 @@ class Network:
         #: host -> partition group id; messages between different groups
         #: are dropped while a partition is active (None = no partition).
         self._partition_of: Optional[Dict[str, int]] = None
-        #: Chaos hook: called with each otherwise-deliverable message and
-        #: its natural delivery time; returns the delivery times to use —
-        #: an empty list drops the message, more than one duplicates it.
-        self.fault_injector: Optional[Callable[[Message, float], List[float]]] = None
+        #: Chaos hook (see the ``fault_injector`` property): called with
+        #: each otherwise-deliverable message and its natural delivery
+        #: time; returns the delivery times to use — an empty list drops
+        #: the message, more than one duplicates it.
+        self._fault_injector: Optional[Callable[[Message, float], List[float]]] = None
+        #: Reorder detection runs only after a fault injector has ever
+        #: been installed: without tampering the per-channel FIFO clamp
+        #: makes reordering impossible, so the per-delivery bookkeeping
+        #: would be pure overhead on the (dominant) fault-free runs.
+        self._reorder_track = False
         #: Observer for fabric-level events ("partition", "heal"), called
         #: with the event name and a detail dict.  Chaos timelines and
         #: monitors subscribe here.
@@ -150,13 +157,31 @@ class Network:
         """Attach ``host`` to this network."""
         self.topology.add(host)
         host.network = self
-        self._conditions[host.name] = HostCondition()
+        cond = HostCondition()
+        self._conditions[host.name] = cond
+        host._condition = cond
         self._egress_free_at[host.name] = 0.0
         return host
 
     def condition(self, host_name: str) -> HostCondition:
         """The mutable fault condition for a host (used by attack models)."""
         return self._conditions[host_name]
+
+    @property
+    def fault_injector(self) -> Optional[Callable[[Message, float], List[float]]]:
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(
+        self, fn: Optional[Callable[[Message, float], List[float]]]
+    ) -> None:
+        self._fault_injector = fn
+        if fn is not None:
+            # Once any injector has run, tampered messages may overtake
+            # untampered ones; keep reorder tracking on for the rest of
+            # the run (clearing the injector must not blind detection of
+            # still-in-flight tampered deliveries).
+            self._reorder_track = True
 
     def host(self, name: str) -> Host:
         return self.topology.get(name)
@@ -180,8 +205,8 @@ class Network:
         stats.messages_sent += 1
         stats.bytes_sent += size_bytes
 
-        src_cond = self._conditions[src_name]
-        dst_cond = self._conditions[dst_name]
+        src_cond = src._condition
+        dst_cond = dst._condition
         if src_cond.down or dst_cond.down:
             stats.messages_dropped += 1
             return
@@ -210,7 +235,22 @@ class Network:
             egress_done = egress_start
         egress_free[src_name] = egress_done
 
-        flight = profile.one_way_delay(src.region, dst.region, 0, self.rng)
+        # LatencyProfile.one_way_delay(src, dst, 0, rng), inlined: same
+        # terms in the same order (one RNG draw, jitter last) so delivery
+        # times are bit-identical, minus two Python calls per message.
+        if profile.jitter_ms > 0.0:
+            jitter = profile.jitter_ms * self.rng.random()
+        else:
+            jitter = 0.0
+        src_region = src.region
+        dst_region = dst.region
+        if src_region == dst_region:
+            propagation = profile.intra_region_ms
+        else:
+            propagation = profile.propagation_ms.get(
+                (src_region, dst_region), profile.default_propagation_ms
+            )
+        flight = propagation + profile.overhead_ms + jitter
         deliver_at = egress_done + flight + dst_cond.extra_ingress_ms
 
         # Channels are FIFO per (src, dst) pair: Fabric's gRPC transport runs
@@ -223,9 +263,12 @@ class Network:
             deliver_at = clear_at
         clear_by_dst[dst_name] = deliver_at
 
-        msg = Message(src_name, dst_name, payload, size_bytes, now)
-        if self.fault_injector is not None:
-            times = self.fault_injector(msg, deliver_at)
+        if self._fault_injector is not None:
+            # The injector API takes a Message; allocate one only on this
+            # (chaos) path and read the payload back afterwards so a
+            # tampering injector's mutations are honoured.
+            msg = Message(src_name, dst_name, payload, size_bytes, now)
+            times = self._fault_injector(msg, deliver_at)
             if not times:
                 stats.messages_dropped += 1
                 stats.messages_dropped_fault += 1
@@ -235,26 +278,162 @@ class Network:
             if max(times) > deliver_at:
                 stats.messages_delayed_fault += 1
             for when in times:
-                scheduler.call_at_anon(max(when, now), self._deliver, dst, src, msg)
+                scheduler.call_at_anon(
+                    max(when, now), self._deliver, dst, src, msg.payload, now
+                )
             return
-        scheduler.call_at_anon(deliver_at, self._deliver, dst, src, msg)
+        # Fast path: no Message allocation — the delivery closure carries
+        # the payload and send time directly.  The scheduler push is
+        # inlined (Scheduler.call_at_anon, same seq counter, minus one
+        # call per message); the past-time guard is skipped because every
+        # term above is non-negative, making deliver_at >= now.
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        heappush(scheduler._queue, (deliver_at, seq, self._deliver, (dst, src, payload, now)))
+        scheduler._live += 1
 
-    def _deliver(self, dst: Host, src: Host, msg: Message) -> None:
+    def send_many(
+        self, src: Host, dsts: Sequence[Host], payload: Any, size_bytes: int = 256
+    ) -> None:
+        """Send one ``payload`` from ``src`` to every host in ``dsts``.
+
+        Exactly equivalent to calling :meth:`send` once per destination in
+        order — same RNG draw sequence, same FIFO egress accumulation,
+        same delivery times, same statistics — with every sender-side
+        lookup hoisted out of the loop.  Vote and state-hash broadcasts
+        dominate a 32-peer replay's message count, so this loop is the
+        hottest code in the transport.
+        """
+        stats = self.stats
+        profile = self.profile
+        src_name = src.name
+        src_region = src.region
+        scheduler = self.scheduler
+        now = scheduler._now
+        src_down = src._condition.down
+        partition_of = self._partition_of
+        src_group = partition_of.get(src_name) if partition_of is not None else None
+        rng_random = self.rng.random
+        loss_rate = profile.loss_rate
+        jitter_ms = profile.jitter_ms
+        overhead_ms = profile.overhead_ms
+        intra_region_ms = profile.intra_region_ms
+        propagation_get = profile.propagation_ms.get
+        default_propagation = profile.default_propagation_ms
+        if size_bytes > 0:  # LatencyProfile.serialization, inlined
+            egress_ser = size_bytes * 8.0 / (profile.bandwidth_mbps * 1000.0)
+        else:
+            egress_ser = 0.0
+        egress_free = self._egress_free_at
+        egress_cursor = egress_free[src_name]
+        clear_by_dst = self._channel_clear_at.get(src_name)
+        if clear_by_dst is None:
+            clear_by_dst = self._channel_clear_at[src_name] = {}
+        fault_injector = self._fault_injector
+        call_at_anon = scheduler.call_at_anon
+        deliver = self._deliver
+        queue = scheduler._queue
+        seq = scheduler._seq
+        n_sent = 0
+        n_dropped = 0
+
+        for dst in dsts:
+            dst_name = dst.name
+            n_sent += 1
+            dst_cond = dst._condition
+            if src_down or dst_cond.down:
+                n_dropped += 1
+                continue
+            if partition_of is not None:
+                if src_group != partition_of.get(dst_name):
+                    n_dropped += 1
+                    stats.messages_dropped_partition += 1
+                    continue
+            if loss_rate and rng_random() < loss_rate:
+                n_dropped += 1
+                continue
+            if dst_cond.ingress_drop_rate and rng_random() < dst_cond.ingress_drop_rate:
+                n_dropped += 1
+                continue
+
+            # FIFO egress serialisation at the sender's NIC: the cursor is
+            # the local image of _egress_free_at[src_name], written back
+            # once after the loop (nothing else can observe it mid-loop —
+            # no events fire while we iterate).
+            if now > egress_cursor:
+                egress_cursor = now
+            egress_done = egress_cursor + egress_ser
+            egress_cursor = egress_done
+
+            if jitter_ms > 0.0:
+                jitter = jitter_ms * rng_random()
+            else:
+                jitter = 0.0
+            dst_region = dst.region
+            if src_region == dst_region:
+                propagation = intra_region_ms
+            else:
+                propagation = propagation_get(
+                    (src_region, dst_region), default_propagation
+                )
+            flight = propagation + overhead_ms + jitter
+            deliver_at = egress_done + flight + dst_cond.extra_ingress_ms
+
+            clear_at = clear_by_dst.get(dst_name, 0.0)
+            if clear_at > deliver_at:
+                deliver_at = clear_at
+            clear_by_dst[dst_name] = deliver_at
+
+            if fault_injector is not None:
+                msg = Message(src_name, dst_name, payload, size_bytes, now)
+                times = fault_injector(msg, deliver_at)
+                if not times:
+                    n_dropped += 1
+                    stats.messages_dropped_fault += 1
+                    continue
+                if len(times) > 1:
+                    stats.messages_duplicated += len(times) - 1
+                if max(times) > deliver_at:
+                    stats.messages_delayed_fault += 1
+                # Flush the inlined-push seq before re-entering the
+                # scheduler API, resync after.
+                scheduler._seq = seq
+                for when in times:
+                    call_at_anon(max(when, now), deliver, dst, src, msg.payload, now)
+                seq = scheduler._seq
+                continue
+            # Inlined Scheduler.call_at_anon (same seq counter, one fewer
+            # call per message; deliver_at >= now by construction).
+            heappush(queue, (deliver_at, seq, deliver, (dst, src, payload, now)))
+            seq += 1
+            scheduler._live += 1
+
+        scheduler._seq = seq
+        stats.messages_sent += n_sent
+        stats.bytes_sent += size_bytes * n_sent
+        stats.messages_dropped += n_dropped
+        egress_free[src_name] = egress_cursor
+
+    def _deliver(self, dst: Host, src: Host, payload: Any, sent_at: float) -> None:
         stats = self.stats
         # Re-check: host may have gone down while the message was in flight.
-        if self._conditions[msg.dst].down:
+        if dst._condition.down:
             stats.messages_dropped += 1
             return
-        last_by_dst = self._channel_last_sent_at.get(msg.src)
-        if last_by_dst is None:
-            last_by_dst = self._channel_last_sent_at[msg.src] = {}
-        last = last_by_dst.get(msg.dst)
-        if last is not None and msg.sent_at < last:
-            stats.messages_reordered += 1
-        else:
-            last_by_dst[msg.dst] = msg.sent_at
+        if self._reorder_track:
+            # Only fault injection can break the per-channel FIFO, so the
+            # overtake bookkeeping runs only once an injector has been
+            # installed (see the fault_injector setter).
+            last_by_dst = self._channel_last_sent_at.get(src.name)
+            if last_by_dst is None:
+                last_by_dst = self._channel_last_sent_at[src.name] = {}
+            last = last_by_dst.get(dst.name)
+            if last is not None and sent_at < last:
+                stats.messages_reordered += 1
+            else:
+                last_by_dst[dst.name] = sent_at
         stats.messages_delivered += 1
-        dst.handle_message(src, msg.payload)
+        dst.handle_message(src, payload)
 
     # ------------------------------------------------------------------
     # partitions

@@ -35,6 +35,10 @@ from .rwset import infer_footprints
 
 __all__ = ["ConflictPlan", "ConflictPlanner"]
 
+#: ``for_contract`` memo for class targets (see its docstring).
+_PLANNER_CACHE: Dict[type, "ConflictPlanner"] = {}
+_PLANNER_CACHE_MAX = 256
+
 
 @dataclass
 class ConflictPlan:
@@ -86,12 +90,29 @@ class ConflictPlanner:
         target: Union[str, type],
         class_name: Optional[str] = None,
     ) -> "ConflictPlanner":
-        """Build a planner from a contract class or source text."""
+        """Build a planner from a contract class or source text.
+
+        Class targets are memoised process-wide: the analysis is a pure
+        function of the class source, and every simulated session that
+        arms the planner (``conflict_planner`` / ``parallel_validation``)
+        would otherwise re-run the same footprint inference (~0.1 s) at
+        ``install_contract`` time.  Planner instances are stateless after
+        construction, so sharing one is safe.
+        """
+        if isinstance(target, type) and class_name is None:
+            cached = _PLANNER_CACHE.get(target)
+            if cached is not None:
+                return cached
         contract = getattr(target, "name", None) if isinstance(target, type) else None
-        return cls(
+        planner = cls(
             predict_conflicts(infer_footprints(target, class_name)),
             contract=contract if isinstance(contract, str) else None,
         )
+        if isinstance(target, type) and class_name is None:
+            if len(_PLANNER_CACHE) >= _PLANNER_CACHE_MAX:
+                _PLANNER_CACHE.clear()
+            _PLANNER_CACHE[target] = planner
+        return planner
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,89 @@
+"""Unit tests for the perf harness's baseline regression gate.
+
+``repro.perf --check`` must fail with an actionable message — never a
+KeyError — when the checked-in baseline predates the current suite
+(missing workloads) or is malformed, and must keep enforcing the
+sim-metric / timing gates for the workloads both sides share.
+"""
+
+from __future__ import annotations
+
+from repro.perf.runner import check_against_baseline
+
+
+def _entry(wall_s=1.0, normalized=10.0, sim=None, params=None):
+    return {
+        "wall_s": wall_s,
+        "normalized": normalized,
+        "sim_metrics": sim if sim is not None else {"accepted": 5},
+        "params": params if params is not None else {"n": 1},
+    }
+
+
+def _record(**workloads):
+    return {"schema": "repro.perf/1", "workloads": workloads}
+
+
+class TestStaleOrMalformedBaseline:
+    def test_workload_missing_from_baseline_is_flagged(self):
+        current = _record(old=_entry(), new=_entry())
+        baseline = _record(old=_entry())
+        ok, problems = check_against_baseline(current, baseline)
+        assert not ok
+        assert any(
+            "new" in p and "missing from baseline" in p and "regenerate" in p
+            for p in problems
+        )
+
+    def test_malformed_baseline_is_flagged_not_raised(self):
+        current = _record(wl=_entry())
+        for baseline in ({}, {"workloads": None}, {"workloads": [1, 2]}):
+            ok, problems = check_against_baseline(current, baseline)
+            assert not ok
+            assert len(problems) == 1
+            assert "malformed" in problems[0]
+
+    def test_workload_missing_from_current_still_flagged(self):
+        current = _record()
+        baseline = _record(wl=_entry())
+        ok, problems = check_against_baseline(current, baseline)
+        assert not ok
+        assert any("missing from current run" in p for p in problems)
+
+
+class TestGates:
+    def test_identical_records_pass(self):
+        ok, problems = check_against_baseline(_record(wl=_entry()), _record(wl=_entry()))
+        assert ok and problems == []
+
+    def test_sim_metric_divergence_fails(self):
+        ok, problems = check_against_baseline(
+            _record(wl=_entry(sim={"accepted": 4})),
+            _record(wl=_entry(sim={"accepted": 5})),
+        )
+        assert not ok
+        assert any("simulated metrics diverged" in p for p in problems)
+
+    def test_timing_regression_fails_beyond_tolerance(self):
+        ok, problems = check_against_baseline(
+            _record(wl=_entry(normalized=20.0)),
+            _record(wl=_entry(normalized=10.0)),
+            tolerance=0.25,
+        )
+        assert not ok
+        assert any("regression" in p for p in problems)
+
+    def test_tiny_workloads_skip_timing_gate(self):
+        ok, problems = check_against_baseline(
+            _record(wl=_entry(wall_s=0.01, normalized=20.0)),
+            _record(wl=_entry(wall_s=0.01, normalized=10.0)),
+        )
+        assert ok and problems == []
+
+    def test_param_change_requires_regeneration(self):
+        ok, problems = check_against_baseline(
+            _record(wl=_entry(params={"n": 2})),
+            _record(wl=_entry(params={"n": 1})),
+        )
+        assert not ok
+        assert any("params changed" in p for p in problems)

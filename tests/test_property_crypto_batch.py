@@ -1,0 +1,146 @@
+"""Property-based tests: batch signature verification.
+
+:func:`repro.blockchain.verify_batch` is the amortised pass the peers'
+block-validation path uses; its contract is verdict-for-verdict
+equivalence with calling :meth:`PublicKey.verify` in a loop, for every
+mix of valid, corrupted and structurally-bogus signatures, with and
+without the process-wide verdict cache (``fresh=True``) and down both
+the per-item and randomized-product code paths (``force_product``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blockchain import generate_keypair, verify_batch
+from repro.blockchain.crypto import _VERIFY_CACHE
+
+# Small keys keep the modexps fast; generate_keypair memoises per
+# (seed, bits), so each distinct seed pays the prime search only once
+# across the whole Hypothesis run.
+KEY_BITS = 256
+N_KEYS = 4
+
+keypairs = [generate_keypair(f"batch-prop-{i}", KEY_BITS) for i in range(N_KEYS)]
+
+messages = st.text(max_size=32)
+
+
+@st.composite
+def signed_batches(draw):
+    """A batch of (key, message, signature) triples plus the expected
+    loop-verification verdicts: a random mix of honestly signed items,
+    bit-corrupted signatures, cross-key replays, and structural junk."""
+    n = draw(st.integers(min_value=0, max_value=12))
+    items = []
+    for _ in range(n):
+        pair = keypairs[draw(st.integers(0, N_KEYS - 1))]
+        message = draw(messages)
+        kind = draw(st.sampled_from(["ok", "corrupt", "wrong-key", "junk"]))
+        if kind == "ok":
+            sig = pair.sign(message)
+        elif kind == "corrupt":
+            sig = pair.sign(message) ^ (1 << draw(st.integers(0, KEY_BITS - 2)))
+        elif kind == "wrong-key":
+            other = keypairs[draw(st.integers(0, N_KEYS - 1))]
+            sig = other.sign(message)
+        else:
+            sig = draw(
+                st.one_of(
+                    st.just(0),
+                    st.just(-5),
+                    st.integers(min_value=1, max_value=1 << KEY_BITS),
+                    st.just("not-an-int"),
+                )
+            )
+        items.append((pair.public, message, sig))
+    return items
+
+
+def _loop_verdicts(items):
+    return [key.verify(message, sig) for key, message, sig in items]
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(signed_batches())
+    def test_batch_equals_loop(self, items):
+        assert verify_batch(items) == _loop_verdicts(items)
+
+    @settings(max_examples=40, deadline=None)
+    @given(signed_batches())
+    def test_fresh_bypass_equals_loop(self, items):
+        before = dict(_VERIFY_CACHE)
+        assert verify_batch(items, fresh=True) == _loop_verdicts(items)
+        # The audit bypass must leave the memo untouched for the items
+        # it saw (the loop above may add entries; fresh itself may not).
+        for key, message, sig in items:
+            try:
+                cache_key = (key.n, key.e, message, sig)
+            except AttributeError:
+                continue
+            if not isinstance(sig, int):
+                continue
+            if cache_key not in before:
+                assert _VERIFY_CACHE.get(cache_key) in (None, True, False)
+
+    @settings(max_examples=30, deadline=None)
+    @given(signed_batches())
+    def test_product_path_equals_loop(self, items):
+        expected = _loop_verdicts(items)
+        assert verify_batch(items, force_product=True) == expected
+        assert verify_batch(items, force_product=False) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(signed_batches())
+    def test_cold_and_warm_cache_agree(self, items):
+        # Warm run may be served entirely from the verdict cache; it must
+        # still agree with a fully fresh pass.
+        warm = verify_batch(items)
+        assert verify_batch(items) == warm
+        assert verify_batch(items, fresh=True) == warm
+
+
+class TestCorruptionAttribution:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.data(),
+    )
+    def test_minority_corruption_attributed_exactly(self, n, data):
+        """Corrupting a strict minority of an all-one-key batch must
+        flag exactly the corrupted indices — the product test's per-item
+        fallback may not smear blame across the batch."""
+        pair = keypairs[0]
+        msgs = [f"msg-{i}" for i in range(n)]
+        items = [(pair.public, m, pair.sign(m)) for m in msgs]
+        n_bad = data.draw(st.integers(1, max(1, n // 2)))
+        bad = sorted(
+            data.draw(
+                st.sets(st.integers(0, n - 1), min_size=n_bad, max_size=n_bad)
+            )
+        )
+        for i in bad:
+            key, m, sig = items[i]
+            items[i] = (key, m, sig ^ (1 << data.draw(st.integers(0, KEY_BITS - 2))))
+        for force in (None, True, False):
+            verdicts = verify_batch(items, fresh=True) if force is None else \
+                verify_batch(items, force_product=force)
+            flagged = [i for i, ok in enumerate(verdicts) if not ok]
+            # A corrupted signature is invalid with overwhelming
+            # probability; equality both ways pins exact attribution.
+            assert flagged == bad
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_single_valid_item_batches(self, data):
+        pair = keypairs[data.draw(st.integers(0, N_KEYS - 1))]
+        message = data.draw(messages)
+        sig = pair.sign(message)
+        assert verify_batch([(pair.public, message, sig)]) == [True]
+        assert verify_batch([(pair.public, message, sig)], fresh=True) == [True]
+
+    def test_empty_batch(self):
+        assert verify_batch([]) == []
+        assert verify_batch([], fresh=True) == []

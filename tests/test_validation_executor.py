@@ -1,0 +1,249 @@
+"""Unit tests for the block-validation executors.
+
+The differential suite (``test_validation_parallel_diff.py``) proves
+whole-simulation bit-identity; these tests pin the executor mechanics in
+isolation — lane merge order, malformed-plan degradation, the realized-
+footprint audit fallback, worker-pool equivalence, and the cross-peer
+execution cache's hit/miss/bypass behaviour — by hand-crafting blocks
+with adversarial ``plan`` metadata.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain import (
+    BlockchainNetwork,
+    FabricConfig,
+    clear_execution_cache,
+    execution_stats,
+    reset_execution_stats,
+)
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.execution import (
+    ParallelValidationExecutor,
+    SerialValidationExecutor,
+    _valid_lanes,
+    make_executor,
+)
+from repro.chaos.workload import ChaosCounterContract
+
+
+@pytest.fixture()
+def chain():
+    clear_execution_cache()
+    config = FabricConfig(verify_signatures=True)
+    net = BlockchainNetwork(n_peers=2, seed=11, config=config)
+    net.install_contract(ChaosCounterContract)
+    client = net.create_client("unit")
+    for counter in "ab":
+        client.invoke(
+            "chaoscounter", "init", (counter,),
+            touched_keys=(ChaosCounterContract.key(counter),),
+        )
+        net.run_until_idle()
+    # Counters below must reflect only what each test itself executes,
+    # not the setup commits above.
+    reset_execution_stats()
+    clear_execution_cache()
+    return net, client
+
+
+def _craft_block(net, client, specs, plan):
+    """A synthetic next block over the current committed state."""
+    key = ChaosCounterContract.key
+    txs = [
+        client.build_transaction(
+            "chaoscounter", fn, args, touched_keys=(key(args[0]),)
+        )
+        for fn, args in specs
+    ]
+    ledger = net.peers[0].ledger
+    header = BlockHeader(
+        number=ledger.height,
+        previous_hash=ledger.last_hash,
+        data_hash="synthetic",
+        timestamp=net.now,
+    )
+    return Block(header=header, transactions=txs, plan=plan)
+
+
+def _codes_and_writes(executions):
+    return [(e.code, sorted(e.rwset.writes)) for e in executions]
+
+
+INDEPENDENT = [("add", ("a", 1)), ("add", ("b", 2))]
+CONFLICTING = [("add", ("a", 1)), ("add", ("a", 2))]
+
+
+# ----------------------------------------------------------------------
+# plan validation
+
+
+class TestValidLanes:
+    def test_accepts_exact_partition(self):
+        assert _valid_lanes({"lanes": [[0, 2], [1]]}, 3) == [[0, 2], [1]]
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            None,
+            "lanes",
+            {},
+            {"lanes": None},
+            {"lanes": [[0], []]},          # empty lane
+            {"lanes": [[0], [0, 1]]},      # duplicate index
+            {"lanes": [[1, 0]]},           # not increasing
+            {"lanes": [[0], [2]]},         # not a partition (missing 1)
+            {"lanes": [[0], [1, 3]]},      # out of range
+            {"lanes": [[0], [-1, 1]]},     # negative
+            {"lanes": [[0], [True]]},      # bool masquerading as int
+            {"lanes": [[0], ["1"]]},       # non-int
+        ],
+        ids=[
+            "none", "non-dict", "no-lanes", "lanes-none", "empty-lane",
+            "dup", "decreasing", "incomplete", "oob", "negative",
+            "bool", "str",
+        ],
+    )
+    def test_rejects_malformed(self, plan):
+        assert _valid_lanes(plan, 4) is None
+
+    def test_rejects_non_partition_even_if_sorted(self):
+        assert _valid_lanes({"lanes": [[0, 1]]}, 3) is None
+
+
+# ----------------------------------------------------------------------
+# lane execution vs serial
+
+
+class TestLaneExecution:
+    def test_independent_lanes_match_serial(self, chain):
+        net, client = chain
+        peer = net.peers[0]
+        block = _craft_block(net, client, INDEPENDENT, {"lanes": [[0], [1]]})
+        serial = SerialValidationExecutor()._execute(peer, block)
+        parallel = ParallelValidationExecutor(workers=1)._execute(peer, block)
+        assert _codes_and_writes(parallel) == _codes_and_writes(serial)
+        assert execution_stats()["lane_blocks"] == 1
+        assert execution_stats()["lane_fallbacks"] == 0
+
+    def test_worker_pool_matches_inline(self, chain):
+        net, client = chain
+        peer = net.peers[0]
+        block = _craft_block(net, client, INDEPENDENT, {"lanes": [[0], [1]]})
+        inline = ParallelValidationExecutor(workers=1)._execute(peer, block)
+        pooled = ParallelValidationExecutor(workers=3)._execute(peer, block)
+        assert _codes_and_writes(pooled) == _codes_and_writes(inline)
+
+    def test_unsound_plan_triggers_audit_fallback(self, chain):
+        """A plan that (wrongly) claims two same-key writers are
+        independent must be caught by the realized-footprint audit and
+        re-executed serially — the unsound advice cannot leak into
+        results."""
+        net, client = chain
+        peer = net.peers[0]
+        block = _craft_block(net, client, CONFLICTING, {"lanes": [[0], [1]]})
+        serial = SerialValidationExecutor()._execute(peer, block)
+        parallel = ParallelValidationExecutor(workers=1)._execute(peer, block)
+        assert _codes_and_writes(parallel) == _codes_and_writes(serial)
+        assert execution_stats()["lane_fallbacks"] == 1
+
+    def test_malformed_plan_degrades_to_serial(self, chain):
+        net, client = chain
+        peer = net.peers[0]
+        block = _craft_block(net, client, INDEPENDENT, {"lanes": [[0], [0, 1]]})
+        serial = SerialValidationExecutor()._execute(peer, block)
+        degraded = ParallelValidationExecutor(workers=1)._execute(peer, block)
+        assert _codes_and_writes(degraded) == _codes_and_writes(serial)
+        assert execution_stats()["degraded_plans"] == 1
+        assert execution_stats()["lane_blocks"] == 0
+
+    def test_single_lane_takes_serial_path(self, chain):
+        net, client = chain
+        peer = net.peers[0]
+        block = _craft_block(net, client, INDEPENDENT, {"lanes": [[0, 1]]})
+        ParallelValidationExecutor(workers=1)._execute(peer, block)
+        assert execution_stats()["lane_blocks"] == 0
+        assert execution_stats()["serial_blocks"] == 1
+
+    def test_merge_restores_block_order(self, chain):
+        net, client = chain
+        peer = net.peers[0]
+        specs = [("add", ("a", 1)), ("add", ("b", 2)), ("sub", ("a", 1))]
+        # Lane layout deliberately interleaves the indices.
+        block = _craft_block(net, client, specs, {"lanes": [[0, 2], [1]]})
+        serial = SerialValidationExecutor()._execute(peer, block)
+        parallel = ParallelValidationExecutor(workers=1)._execute(peer, block)
+        assert _codes_and_writes(parallel) == _codes_and_writes(serial)
+        assert len(parallel) == 3
+
+
+# ----------------------------------------------------------------------
+# cross-peer execution cache
+
+
+class TestExecutionCache:
+    def test_second_peer_hits_cache(self, chain):
+        net, client = chain
+        block = _craft_block(net, client, INDEPENDENT, {"lanes": [[0], [1]]})
+        executor = SerialValidationExecutor()
+        first = executor.execute_block(net.peers[0], block)
+        stats = execution_stats()
+        assert stats["cache_misses"] == 1 and stats["cache_hits"] == 0
+        second = executor.execute_block(net.peers[1], block)
+        stats = execution_stats()
+        assert stats["cache_hits"] == 1
+        assert _codes_and_writes(second) == _codes_and_writes(first)
+        # Fresh per-peer wrappers over shared immutable RWSets: codes may
+        # be downgraded per peer later, so the TxExecution objects must
+        # not be shared.
+        for a, b in zip(first, second):
+            assert a is not b
+            assert a.rwset is b.rwset
+
+    def test_patched_peer_bypasses_cache(self, chain):
+        net, client = chain
+        block = _craft_block(net, client, INDEPENDENT, {"lanes": [[0], [1]]})
+        executor = SerialValidationExecutor()
+        baseline = executor.execute_block(net.peers[0], block)
+        peer = net.peers[1]
+        # Chaos "buggy peer" fixtures instance-patch _execute_one; the
+        # cache must stand aside in both directions for such peers.
+        peer._execute_one = type(peer)._baseline_execute_one.__get__(peer)
+        patched = executor.execute_block(peer, block)
+        stats = execution_stats()
+        assert stats["cache_bypasses"] == 1
+        assert stats["cache_hits"] == 0
+        assert _codes_and_writes(patched) == _codes_and_writes(baseline)
+
+    def test_cache_disabled_by_config(self, chain):
+        net, client = chain
+        for peer in net.peers:
+            peer.config.shared_execution_cache = False
+        block = _craft_block(net, client, INDEPENDENT, {"lanes": [[0], [1]]})
+        executor = SerialValidationExecutor()
+        executor.execute_block(net.peers[0], block)
+        executor.execute_block(net.peers[1], block)
+        stats = execution_stats()
+        assert stats["cache_hits"] == 0 and stats["cache_misses"] == 0
+
+
+# ----------------------------------------------------------------------
+# config wiring
+
+
+class TestMakeExecutor:
+    def test_selects_serial_by_default(self):
+        assert make_executor(FabricConfig()).mode == "serial"
+
+    def test_selects_parallel(self):
+        executor = make_executor(FabricConfig(parallel_validation=True))
+        assert executor.mode == "parallel"
+        assert executor.workers >= 1
+
+    def test_worker_count_propagated(self):
+        executor = make_executor(
+            FabricConfig(parallel_validation=True, validation_workers=3)
+        )
+        assert executor.workers == 3

@@ -1,0 +1,231 @@
+"""Differential layer: parallel block validation is bit-identical to serial.
+
+``FabricConfig.parallel_validation`` must be a pure host-side switch —
+the paper's consensus scheme rests on every honest peer deriving the
+identical validation outcome, so the lane-parallel executor (and the
+cross-peer execution cache and the batched signature pass riding with
+it) is required to reproduce the serial executor's results *exactly*.
+
+Every test here replays the same seeded scenario once per executor mode
+and compares full fingerprints: ledger chain hashes, per-block
+validation codes, world-state hashes, scheduler event counts, shim
+accept/reject tallies, and (for the instrumented replays) the complete
+telemetry span list.  Any divergence, however small, is a determinism
+bug in the executor, not a tolerable perf artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain import (
+    FabricConfig,
+    clear_execution_cache,
+    execution_stats,
+    reset_execution_stats,
+)
+from repro.chaos.runner import run_scenario
+from repro.core import GameSession
+from repro.perf.workloads import _session9_prefix
+from repro.telemetry import Telemetry
+
+
+# ----------------------------------------------------------------------
+# fingerprint helpers
+
+
+def _ledger_fingerprint(chain) -> list:
+    """Per-peer ledger digest: chain head, state hash, per-block tx codes.
+
+    Codes are read back from each peer's own tx index (``tx_status``)
+    rather than ``block.validation_codes`` — block objects are shared
+    between in-process peers, so the attribute only reflects the last
+    appender.
+    """
+    out = []
+    for peer in chain.peers:
+        ledger = peer.ledger
+        codes = []
+        for number in range(1, ledger.height):  # skip genesis
+            block = ledger.block(number)
+            codes.append(
+                [ledger.tx_status(tx.tx_id)[0] for tx in block.transactions]
+            )
+        out.append(
+            {
+                "peer": peer.name,
+                "height": ledger.height,
+                "head": ledger.last_hash,
+                "state": ledger.state_hash(),
+                "codes": codes,
+            }
+        )
+    return out
+
+
+def _span_fingerprint(telemetry) -> list:
+    return [
+        (s.trace_id, s.stage, s.host, round(s.t_start, 6), round(s.t_end, 6))
+        for s in telemetry.tracer.spans
+    ]
+
+
+def _replay_fingerprint(
+    n_peers: int,
+    n_events: int,
+    executor: str,
+    workers: int = 0,
+    shared_cache: bool = True,
+    with_telemetry: bool = False,
+) -> dict:
+    """Replay a session-#9 prefix and fingerprint everything observable."""
+    clear_execution_cache()
+    demo = _session9_prefix(n_events)
+    config = FabricConfig(
+        max_block_txs=5,
+        mutually_exclusive_blocks=True,
+        parallel_validation=(executor == "parallel"),
+        validation_workers=workers,
+        shared_execution_cache=shared_cache,
+    )
+    session = GameSession(n_peers=n_peers, fabric_config=config, seed=7)
+    telemetry = Telemetry() if with_telemetry else None
+    if telemetry is not None:
+        telemetry.instrument_session(session)
+    session.setup()
+    session.play_demo(demo)
+    session.run_until_idle()
+    stats = session.stats()
+    fingerprint = {
+        "accepted": stats.accepted_events,
+        "rejected": stats.rejected_events,
+        "latencies": [round(x, 6) for x in stats.latencies_ms],
+        "sim_now": round(session.now, 6),
+        "scheduler_events": session.scheduler.events_processed,
+        "ledgers_agree": session.ledgers_agree(),
+        "ledgers": _ledger_fingerprint(session.chain),
+    }
+    if telemetry is not None:
+        fingerprint["spans"] = _span_fingerprint(telemetry)
+    return fingerprint
+
+
+def _assert_same(serial: dict, parallel: dict) -> None:
+    # Key-by-key first for a readable failure, then the full dict.
+    for key in serial:
+        assert parallel[key] == serial[key], f"fingerprint field {key!r} diverged"
+    assert parallel == serial
+
+
+# ----------------------------------------------------------------------
+# seeded replays, 4/16/32 peers
+
+
+@pytest.mark.parametrize(
+    "n_peers,n_events",
+    [(4, 300), (16, 200), (32, 150)],
+    ids=["4p", "16p", "32p"],
+)
+def test_replay_bit_identical(n_peers: int, n_events: int) -> None:
+    serial = _replay_fingerprint(n_peers, n_events, "serial", with_telemetry=True)
+    parallel = _replay_fingerprint(n_peers, n_events, "parallel", with_telemetry=True)
+    _assert_same(serial, parallel)
+    assert serial["accepted"] + serial["rejected"] > 0  # the replay did work
+
+
+def test_replay_identical_with_worker_pool() -> None:
+    serial = _replay_fingerprint(4, 200, "serial")
+    pooled = _replay_fingerprint(4, 200, "parallel", workers=2)
+    _assert_same(serial, pooled)
+
+
+def test_replay_identical_without_shared_cache() -> None:
+    serial = _replay_fingerprint(4, 200, "serial", shared_cache=False)
+    parallel = _replay_fingerprint(4, 200, "parallel", shared_cache=False)
+    _assert_same(serial, parallel)
+    # And disabling the cache must not change results either.
+    cached = _replay_fingerprint(4, 200, "serial", shared_cache=True)
+    _assert_same(serial, cached)
+
+
+# ----------------------------------------------------------------------
+# chaos-fault schedule
+
+
+def _chaos_record(config: FabricConfig) -> dict:
+    clear_execution_cache()
+    res = run_scenario("churn-partition-ddos", seed=7, config=config)
+    return {
+        "timeline": res.timeline,
+        "faults_applied": res.faults_applied,
+        "violations": [[v.at_ms, v.invariant, v.peer] for v in res.violations],
+        "workload_summary": res.workload_summary,
+        "probe_codes": res.probe_codes,
+        "submitted": res.submitted,
+        "committed_height": res.committed_height,
+        "network_stats": res.network_stats,
+    }
+
+
+def test_chaos_schedule_bit_identical() -> None:
+    serial = _chaos_record(FabricConfig())
+    parallel = _chaos_record(FabricConfig(parallel_validation=True))
+    for key in serial:
+        assert parallel[key] == serial[key], f"chaos record field {key!r} diverged"
+    assert serial["violations"] == []
+
+
+# ----------------------------------------------------------------------
+# burst traffic: multi-transaction blocks that actually exercise lanes
+
+
+def _burst_ledgers(parallel: bool, workers: int = 0) -> tuple:
+    """Replay the same demo through *every* player shim at once.
+
+    Four creators moving simultaneously plus a long batch timeout give
+    the orderer multi-transaction blocks whose ``location`` events are
+    pairwise SAME_PLAYER-independent, so the planner emits real
+    multi-lane plans and the parallel executor takes the lane path
+    (seeded single-shim replays stay single-tx-per-block and never do).
+    """
+    clear_execution_cache()
+    reset_execution_stats()
+    demo = _session9_prefix(150)
+    config = FabricConfig(
+        max_block_txs=8,
+        batch_timeout_ms=120.0,
+        parallel_validation=parallel,
+        validation_workers=workers,
+        conflict_planner=True,
+    )
+    session = GameSession(n_peers=4, fabric_config=config, seed=7)
+    session.setup()
+    for shim in session.shims:
+        session.play_demo(demo, shim=shim)
+    session.run_until_idle()
+    fingerprint = {
+        "ledgers": _ledger_fingerprint(session.chain),
+        "ledgers_agree": session.ledgers_agree(),
+        "scheduler_events": session.scheduler.events_processed,
+        "shims": [
+            (shim.stats.accepted_events, shim.stats.rejected_events)
+            for shim in session.shims
+        ],
+    }
+    return fingerprint, execution_stats()
+
+
+def test_burst_blocks_exercise_lanes_and_match() -> None:
+    serial_fp, serial_stats = _burst_ledgers(parallel=False)
+    parallel_fp, stats = _burst_ledgers(parallel=True)
+    assert parallel_fp == serial_fp
+    assert stats["lane_blocks"] > 0, "burst blocks never took the lane path"
+    assert serial_stats["lane_blocks"] == 0  # serial mode never lanes
+    assert serial_fp["ledgers_agree"]
+
+
+def test_burst_blocks_with_pool_match() -> None:
+    serial_fp, _ = _burst_ledgers(parallel=False)
+    pooled_fp, stats = _burst_ledgers(parallel=True, workers=3)
+    assert pooled_fp == serial_fp
+    assert stats["lane_blocks"] > 0
