@@ -56,8 +56,16 @@ from .network import BlockchainNetwork
 from .ordering import OrderingService
 from .peer import Peer
 from .policy import MAJORITY, ConsensusPolicy, PolicyError, parse_policy
-from .sharding import ShardedDeployment
+from .sharding import ShardedDeployment, session_shard_key, shard_index_for_key
 from .state import Version, VersionedValue, WorldState
+from .swaps import (
+    CrossShardSwap,
+    ShardAssetContract,
+    SwapCoordinator,
+    SwapState,
+    check_conservation,
+    scan_assets,
+)
 from .transaction import (
     Proposal,
     RWSet,
@@ -112,6 +120,14 @@ __all__ = [
     "Peer",
     "MAJORITY",
     "ShardedDeployment",
+    "shard_index_for_key",
+    "session_shard_key",
+    "ShardAssetContract",
+    "SwapCoordinator",
+    "SwapState",
+    "CrossShardSwap",
+    "scan_assets",
+    "check_conservation",
     "ConsensusPolicy",
     "PolicyError",
     "parse_policy",

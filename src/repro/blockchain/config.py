@@ -119,6 +119,17 @@ class FabricConfig:
     #: (chaos buggy fixtures) bypass the cache automatically.
     shared_execution_cache: bool = True
 
+    #: Cross-shard swap protocol (``repro.blockchain.swaps``): a swap
+    #: still undecided (prepare phase) after ``swap_timeout_ms`` of
+    #: simulated time is aborted by its coordinator, releasing the locks
+    #: on both shards.  Committing swaps ignore the timeout — past the
+    #: point of no return the protocol rolls forward.
+    swap_timeout_ms: float = 4_000.0
+    #: Poll tick of the swap coordinator's per-shard clients; a swap is
+    #: four dependent transactions, so its latency is roughly four
+    #: commit latencies quantised to this tick.
+    swap_poll_interval_ms: float = 50.0
+
     #: Extension addressing limitation §8(2): contract functions listed
     #: here are ordered ahead of others within a block (a C/S server
     #: "may prioritize SHOOT events over location updates"); the default
@@ -136,3 +147,7 @@ class FabricConfig:
             raise ValueError("batch_timeout_ms must be positive")
         if self.validation_workers < 0:
             raise ValueError("validation_workers must be >= 0 (0 = auto)")
+        if self.swap_timeout_ms <= 0:
+            raise ValueError("swap_timeout_ms must be positive")
+        if self.swap_poll_interval_ms <= 0:
+            raise ValueError("swap_poll_interval_ms must be positive")

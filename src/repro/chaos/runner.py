@@ -172,6 +172,18 @@ def run_scenario(
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if scenario.n_shards > 1:
+        # Multi-shard scenarios swap the deployment and workload for
+        # their sharded twins; imported lazily so single-chain runs
+        # never load the sharding stack.
+        from .sharded import run_sharded_scenario
+
+        return run_sharded_scenario(
+            scenario, seed,
+            max_faults=max_faults, buggy=buggy,
+            record_timeline=record_timeline, telemetry=telemetry,
+            max_wall_s=max_wall_s, config=config,
+        )
     if buggy is not None and buggy not in BUGGY_FIXTURES:
         known = ", ".join(sorted(BUGGY_FIXTURES))
         raise KeyError(f"unknown buggy fixture {buggy!r}; known: {known}")

@@ -38,6 +38,21 @@ class Scenario:
     #: simulated grace period after faults are lifted before the
     #: liveness probes are injected.
     settle_ms: float = 2_000.0
+    #: >1 runs the scenario over a ShardedDeployment (per-shard chains
+    #: plus a cross-shard swap workload) instead of one chain; the
+    #: fields below only apply then.  All default so the single-chain
+    #: catalog's digests are untouched.
+    n_shards: int = 1
+    #: tradable assets minted before the clock starts (sharded runs).
+    n_assets: int = 8
+    #: cadence of cross-shard swap attempts (sharded runs).
+    swap_interval_ms: float = 900.0
+    #: crash the swap coordinator at this simulated time (0 = never);
+    #: drawn to land between a swap's prepare and commit so recovery
+    #: has real work to do.
+    coordinator_crash_ms: float = 0.0
+    #: restart + recover() the coordinator this long after the crash.
+    coordinator_recover_ms: float = 3_000.0
 
     def build_schedule(self, seed: int, peer_names: Sequence[str],
                        orderer: str) -> FaultSchedule:
@@ -100,6 +115,21 @@ _CATALOG = (
         partitions=1,
         ddos_bursts=1,
         message_windows=3,
+    ),
+    Scenario(
+        name="cross-shard-swap",
+        description="Two shards trading assets through the two-phase swap "
+        "protocol while peers churn and a partition cuts through a swap; "
+        "the coordinator crashes between prepare and commit and must "
+        "recover without duplicating or destroying an asset.",
+        n_peers=8,
+        n_shards=2,
+        duration_ms=16_000.0,
+        churn=2,
+        partitions=1,
+        workload_interval_ms=120.0,
+        coordinator_crash_ms=6_050.0,
+        settle_ms=3_000.0,
     ),
     Scenario(
         name="smoke",

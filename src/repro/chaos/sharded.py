@@ -1,0 +1,418 @@
+"""Chaos over a sharded deployment: swaps under fire, conservation global.
+
+:func:`run_sharded_scenario` is the multi-shard twin of
+:func:`repro.chaos.runner.run_scenario` (which dispatches here whenever
+``scenario.n_shards > 1``).  The deployment is a
+:class:`~repro.blockchain.sharding.ShardedDeployment` — per-shard
+chains on one sim clock — and the workload adds what single-chain chaos
+cannot exercise: cross-shard asset swaps driven by a crashable
+:class:`~repro.blockchain.swaps.SwapCoordinator` while peers churn,
+partitions cut through in-flight prepares, and (per the scenario) the
+coordinator itself dies between prepare and commit and must recover.
+
+Safety is judged at two levels:
+
+* **per shard** — each shard gets its own
+  :class:`~repro.chaos.invariants.InvariantMonitor` (prefix
+  consistency, shadow-ledger MVCC, state-hash agreement, convergence),
+  because block numbers and state hashes are per-chain quantities;
+* **globally** — :func:`repro.blockchain.swaps.check_conservation`
+  scans every shard's reference committed state on a fixed cadence and
+  again at quiescence: no asset may ever be observed twice, and at the
+  end each must exist exactly once with no surviving locks.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Union
+
+from ..blockchain.config import FabricConfig
+from ..blockchain.sharding import ShardedDeployment
+from ..blockchain.swaps import (
+    OUTCOME_COMMITTED,
+    ShardAssetContract,
+    SwapCoordinator,
+    asset_key,
+    check_conservation,
+)
+from ..blockchain.transaction import TxValidationCode
+from ..core.shim import ShardRouter
+from .injector import FaultInjector
+from .invariants import InvariantMonitor, Violation
+from .runner import BUGGY_FIXTURES, ChaosResult, _run_budgeted
+from .scenarios import Scenario, get_scenario
+
+__all__ = ["ShardedSwapWorkload", "run_sharded_scenario"]
+
+#: Client-side poll timeout, matching the single-chain chaos workload:
+#: long enough to ride out any healed fault, short enough that a tx
+#: stranded by the fault horizon doesn't stall quiescence for the
+#: default two simulated minutes.
+_POLL_TIMEOUT_MS = 20_000.0
+
+
+class _ShardChainView:
+    """The surface :class:`FaultInjector` (and the buggy fixtures) need:
+    one ``.net`` and a flat ``.peers`` across every shard."""
+
+    def __init__(self, deployment: ShardedDeployment):
+        self.net = deployment.net
+        self.peers = deployment.all_peers()
+
+
+class ShardedSwapWorkload:
+    """Session events on every shard plus periodic cross-shard swaps.
+
+    Minting, the session-event cadence and the swap plan are all drawn
+    from the seeded RNG before anything runs, so ``(scenario, seed)``
+    replays the identical stream.  The workload tracks each asset's
+    home shard from committed swap outcomes; a stale guess (possible
+    while the coordinator is down) just yields a rejected prepare and an
+    aborted swap — never an unsafe one.
+    """
+
+    def __init__(
+        self,
+        deployment: ShardedDeployment,
+        scenario: Scenario,
+        seed: int,
+        telemetry=None,
+        on_swap_done=None,
+    ):
+        self.deployment = deployment
+        self.scenario = scenario
+        self.rng = random.Random(seed)
+        self.telemetry = telemetry
+        self.on_swap_done = on_swap_done
+        self.codes: Counter = Counter()
+        self.submitted = 0
+        self.swaps_started = 0
+        self.swaps_skipped_while_crashed = 0
+        self.probe_codes: List[str] = []
+        self.minted: Dict[str, int] = {}
+        self._asset_home: Dict[str, int] = {}
+        self.recover_actions: List = []
+        self.router: Optional[ShardRouter] = None
+        self.coordinator: Optional[SwapCoordinator] = None
+        self._installed = False
+
+    # ------------------------------------------------------------------
+
+    def sessions(self) -> List[str]:
+        return [f"g{k:02d}" for k in range(4 * self.deployment.n_shards)]
+
+    def install(self) -> "ShardedSwapWorkload":
+        if self._installed:
+            raise RuntimeError("workload already installed")
+        self._installed = True
+        dep = self.deployment
+        scenario = self.scenario
+        dep.install_contract(ShardAssetContract)
+        self.router = ShardRouter(dep)
+        self.coordinator = SwapCoordinator(dep, telemetry=self.telemetry)
+        for shard in range(dep.n_shards):
+            for prefix in ("router", self.coordinator.name):
+                client = dep.client_for_shard(shard, prefix)
+                client.poll_timeout_ms = _POLL_TIMEOUT_MS
+
+        scheduler = dep.scheduler
+        # Mint every tradable asset up front, round-robin across shards
+        # (explicitly placed — swaps move assets anywhere, so asset
+        # residence is coordinator state, not key-hash routing).
+        for j in range(scenario.n_assets):
+            aid = f"asset{j:03d}"
+            self.minted[aid] = 50 + j
+            self._asset_home[aid] = j % dep.n_shards
+            scheduler.call_at(1.0 + 2.0 * j, self._mint, aid)
+
+        t = 50.0
+        sessions = self.sessions()
+        while t < scenario.duration_ms:
+            session = self.rng.choice(sessions)
+            player = f"p{self.rng.randrange(4)}"
+            scheduler.call_at(t, self._session_event, session, player)
+            t += scenario.workload_interval_ms
+
+        index = 0
+        t = 2_000.0
+        while t < scenario.duration_ms * 0.9:
+            scheduler.call_at(t, self._try_swap, index)
+            index += 1
+            t += scenario.swap_interval_ms
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _count(self, result, _latency) -> None:
+        self.codes.update([result.code])
+
+    def _mint(self, aid: str) -> None:
+        client = self.deployment.client_for_shard(self._asset_home[aid], "router")
+        self.submitted += 1
+        client.invoke(
+            ShardAssetContract.name, "mint", (aid, "bank", self.minted[aid]),
+            touched_keys=(asset_key(aid),), on_complete=self._count,
+        )
+
+    def _session_event(self, session: str, player: str) -> None:
+        self.submitted += 1
+        assert self.router is not None
+        self.router.submit_session_event(
+            session, player, 1, on_complete=self._count
+        )
+
+    def _try_swap(self, index: int) -> None:
+        coordinator = self.coordinator
+        assert coordinator is not None
+        if coordinator.crashed:
+            self.swaps_skipped_while_crashed += 1
+            return
+        aid = self.rng.choice(sorted(self._asset_home))
+        src = self._asset_home[aid]
+        others = [s for s in range(self.deployment.n_shards) if s != src]
+        dst = self.rng.choice(others)
+        self.swaps_started += 1
+        self.submitted += 1
+
+        def on_done(swap):
+            if swap.outcome == OUTCOME_COMMITTED:
+                self._asset_home[aid] = dst
+            if self.on_swap_done is not None:
+                self.on_swap_done(swap)
+
+        coordinator.start_swap(
+            f"cswap{index:03d}", aid, src, dst,
+            f"owner{index}", self.minted[aid], on_done=on_done,
+        )
+
+    # ------------------------------------------------------------------
+    # coordinator lifecycle (scheduled by the runner)
+
+    def crash_coordinator(self) -> None:
+        assert self.coordinator is not None
+        self.coordinator.crash()
+
+    def recover_coordinator(self) -> None:
+        assert self.coordinator is not None
+        self.coordinator.restart()
+        self.recover_actions.extend(self.coordinator.recover())
+
+    # ------------------------------------------------------------------
+    # end-of-run
+
+    def submit_probes(self, count: int = 3) -> None:
+        """Post-heal liveness probes: one session event per shard-ish,
+        each of which must commit VALID on its shard."""
+        assert self.router is not None
+        sessions = self.sessions()
+        for i in range(count):
+            self.router.submit_session_event(
+                sessions[i % len(sessions)], "probe", 1,
+                on_complete=lambda result, _lat: self.probe_codes.append(
+                    result.code
+                ),
+            )
+
+    def summary(self) -> Dict[str, int]:
+        out = dict(sorted(self.codes.items()))
+        assert self.coordinator is not None
+        for outcome, n in self.coordinator.outcomes().items():
+            out[f"swap_{outcome}"] = n
+        if self.swaps_skipped_while_crashed:
+            out["swap_skipped_while_crashed"] = self.swaps_skipped_while_crashed
+        return out
+
+
+def run_sharded_scenario(
+    scenario: Union[str, Scenario],
+    seed: int,
+    max_faults: Optional[int] = None,
+    buggy: Optional[str] = None,
+    record_timeline: bool = True,
+    telemetry=None,
+    max_wall_s: Optional[float] = None,
+    config: Optional[FabricConfig] = None,
+) -> ChaosResult:
+    """Run one seeded multi-shard chaos experiment end to end.
+
+    Mirrors :func:`repro.chaos.runner.run_scenario` phase for phase
+    (fault horizon → lift-all → settle → probes → quiesce) and adds the
+    sharded tail: a final coordinator restart+recover for swaps the
+    crash orphaned, a stale-lock sweep, and the quiescent global
+    conservation check.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if scenario.n_shards < 2:
+        raise ValueError("run_sharded_scenario needs a scenario with n_shards > 1")
+    if buggy is not None and buggy not in BUGGY_FIXTURES:
+        known = ", ".join(sorted(BUGGY_FIXTURES))
+        raise KeyError(f"unknown buggy fixture {buggy!r}; known: {known}")
+
+    if config is None:
+        config = FabricConfig(max_block_txs=scenario.max_block_txs)
+    else:
+        config = config.with_options(max_block_txs=scenario.max_block_txs)
+    deployment = ShardedDeployment(
+        n_peers=scenario.n_peers,
+        n_shards=scenario.n_shards,
+        config=config,
+        seed=seed,
+    )
+    if telemetry is not None:
+        telemetry.instrument_sharded(deployment)
+    timeline: List[list] = []
+
+    def record(kind: str, *fields) -> None:
+        if record_timeline:
+            timeline.append([kind, round(deployment.now, 3), *fields])
+
+    workload = ShardedSwapWorkload(
+        deployment, scenario, seed, telemetry=telemetry,
+        on_swap_done=lambda swap: record(
+            "swap", swap.swap_id, swap.outcome, swap.src_shard, swap.dst_shard
+        ),
+    ).install()
+
+    # One monitor per shard: block numbers, state hashes and convergence
+    # are per-chain quantities, so cross-shard comparison would be noise.
+    monitors = [
+        InvariantMonitor(
+            shard,
+            deep=True,
+            on_commit=lambda t, peer, height, state_hash: record(
+                "commit", peer, height, state_hash
+            ),
+        ).attach()
+        for shard in deployment.shards
+    ]
+    conservation_violations: List[Violation] = []
+
+    def conservation_probe() -> None:
+        problems = check_conservation(deployment, workload.minted, quiescent=False)
+        record("conservation", len(problems))
+        for problem in problems:
+            conservation_violations.append(
+                Violation(deployment.now, "asset-conservation", "-", problem)
+            )
+
+    probe_t = 2_500.0
+    while probe_t < scenario.duration_ms:
+        deployment.scheduler.call_at(probe_t, conservation_probe)
+        probe_t += 2_500.0
+
+    chain_view = _ShardChainView(deployment)
+    if buggy is not None:
+        BUGGY_FIXTURES[buggy](chain_view)
+
+    schedule = scenario.build_schedule(
+        seed, deployment.peer_names(), deployment.shards[0].orderer.name
+    )
+    if max_faults is not None:
+        schedule = schedule.prefix(max_faults)
+    injector = FaultInjector(
+        chain_view,
+        schedule,
+        on_fault=lambda t, kind, targets: record("fault", kind, list(targets)),
+    ).install()
+    if telemetry is not None:
+        injector.telemetry = telemetry
+
+    if scenario.coordinator_crash_ms > 0:
+        deployment.scheduler.call_at(
+            scenario.coordinator_crash_ms,
+            lambda: (record("coordinator-crash"), workload.crash_coordinator()),
+        )
+        deployment.scheduler.call_at(
+            scenario.coordinator_crash_ms + scenario.coordinator_recover_ms,
+            lambda: (record("coordinator-recover"), workload.recover_coordinator()),
+        )
+
+    def finish_swaps() -> None:
+        """Post-quiescence tail: resolve orphans, then sweep stale locks."""
+        coordinator = workload.coordinator
+        assert coordinator is not None
+        if coordinator.crashed:
+            record("coordinator-recover")
+            workload.recover_coordinator()
+            deployment.run_until_idle()
+        if coordinator.unresolved():
+            workload.recover_actions.extend(coordinator.recover())
+            deployment.run_until_idle()
+        for _ in range(3):
+            if coordinator.sweep_stale_locks() == 0:
+                break
+            record("lock-sweep")
+            deployment.run_until_idle()
+
+    truncated = False
+    wall_start = time.perf_counter()
+    if max_wall_s is None:
+        deployment.run(until=scenario.duration_ms)
+        injector.lift_all()
+        deployment.run(until=scenario.duration_ms + scenario.settle_ms)
+        workload.submit_probes()
+        deployment.run_until_idle()
+        finish_swaps()
+    else:
+        deadline = wall_start + max_wall_s
+        sched = deployment.scheduler
+        if _run_budgeted(sched, deadline, until=scenario.duration_ms):
+            injector.lift_all()
+            if _run_budgeted(
+                sched, deadline, until=scenario.duration_ms + scenario.settle_ms
+            ):
+                workload.submit_probes()
+                truncated = not _run_budgeted(sched, deadline, until=None)
+                if not truncated:
+                    finish_swaps()
+            else:
+                truncated = True
+        else:
+            truncated = True
+    wall_s = time.perf_counter() - wall_start
+
+    if not truncated:
+        for monitor in monitors:
+            monitor.check_convergence()
+        monitor0 = monitors[0]
+        for index, code in enumerate(workload.probe_codes):
+            if code != TxValidationCode.VALID:
+                monitor0._record(
+                    "liveness", "wl-probe",
+                    f"post-heal probe {index} ended {code}, expected VALID",
+                )
+        if len(workload.probe_codes) < 3:
+            monitor0._record(
+                "liveness", "wl-probe",
+                f"only {len(workload.probe_codes)} of 3 probes completed",
+            )
+        for problem in check_conservation(
+            deployment, workload.minted, quiescent=True
+        ):
+            conservation_violations.append(
+                Violation(deployment.now, "asset-conservation", "-", problem)
+            )
+
+    violations = [v for monitor in monitors for v in monitor.violations]
+    violations.extend(conservation_violations)
+    return ChaosResult(
+        scenario=scenario.name,
+        seed=seed,
+        buggy=buggy,
+        faults_in_schedule=len(schedule),
+        faults_applied=injector.faults_applied,
+        violations=violations,
+        timeline=timeline,
+        workload_summary=workload.summary(),
+        probe_codes=list(workload.probe_codes),
+        submitted=workload.submitted,
+        committed_height=max(p.committed_height for p in deployment.all_peers()),
+        network_stats=deployment.net.stats.as_dict(),
+        schedule=schedule,
+        truncated=truncated,
+        wall_s=round(wall_s, 3) if max_wall_s is not None else 0.0,
+    )

@@ -24,8 +24,8 @@ from .doom_contract import DoomContract, item_key
 from .doomspec import DOOM_SPEC_XML, doom_spec
 from .monopoly_contract import MonopolyContract, player_key, property_key
 from .netgen import GameNetwork, build_game_network
-from .session import GameSession, SessionError
-from .shim import MERGEABLE_EVENTS, Batch, Shim, ShimConfig, ShimStats
+from .session import GameSession, SessionError, ShardedSessionPool
+from .shim import MERGEABLE_EVENTS, Batch, ShardRouter, Shim, ShimConfig, ShimStats
 from .spec import (
     AffectsSpec,
     AssetSpec,
@@ -69,6 +69,8 @@ __all__ = [
     "build_game_network",
     "GameSession",
     "SessionError",
+    "ShardedSessionPool",
+    "ShardRouter",
     "MERGEABLE_EVENTS",
     "Batch",
     "Shim",

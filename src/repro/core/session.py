@@ -19,9 +19,9 @@ from ..game.doom import DoomMap
 from ..game.events import GameEvent
 from ..simnet.latency import INTERNET_US, LatencyProfile
 from .netgen import GameNetwork, build_game_network
-from .shim import Shim, ShimConfig, ShimStats
+from .shim import ShardRouter, Shim, ShimConfig, ShimStats
 
-__all__ = ["SessionError", "GameSession"]
+__all__ = ["SessionError", "GameSession", "ShardedSessionPool"]
 
 
 class SessionError(RuntimeError):
@@ -203,3 +203,79 @@ class GameSession:
         self.ended = True
         for shim in self.shims:
             shim.teardown()
+
+
+# ----------------------------------------------------------------------
+# many sessions, one sharded deployment
+
+
+class ShardedSessionPool:
+    """Thousands of lightweight sessions over one sharded deployment.
+
+    A full :class:`GameSession` builds its own blockchain per room; at
+    MMOG scale (the ``sharded-replay`` workloads simulate 1000+ sessions
+    and 100k+ players) sessions are instead multiplexed onto the shards
+    of one :class:`~repro.blockchain.sharding.ShardedDeployment`.  Each
+    session's entire key space (``sess/<id>/...``) lives on the shard
+    the :class:`~repro.core.shim.ShardRouter` assigns it, so in-session
+    events are single-shard transactions; only cross-session trades can
+    cross shards (and go through the swap protocol).
+    """
+
+    def __init__(
+        self,
+        deployment,
+        n_sessions: int,
+        players_per_session: int = 100,
+        contract_name: str = "shardasset",
+        poll_interval_ms: Optional[float] = None,
+    ):
+        if n_sessions < 1:
+            raise SessionError("need at least one session")
+        self.deployment = deployment
+        self.n_sessions = n_sessions
+        self.players_per_session = players_per_session
+        self.router = ShardRouter(
+            deployment, contract_name=contract_name,
+            poll_interval_ms=poll_interval_ms,
+        )
+        self.events_submitted = 0
+
+    def session_id(self, index: int) -> str:
+        if not 0 <= index < self.n_sessions:
+            raise SessionError(f"no session #{index}")
+        return f"g{index:05d}"
+
+    def player_id(self, player_index: int) -> str:
+        if not 0 <= player_index < self.players_per_session:
+            raise SessionError(f"no player #{player_index}")
+        return f"p{player_index:03d}"
+
+    @property
+    def n_players(self) -> int:
+        return self.n_sessions * self.players_per_session
+
+    def shard_of(self, session_index: int) -> int:
+        return self.router.shard_of_session(self.session_id(session_index))
+
+    def sessions_per_shard(self) -> List[int]:
+        counts = [0] * self.deployment.n_shards
+        for index in range(self.n_sessions):
+            counts[self.shard_of(index)] += 1
+        return counts
+
+    def submit_event(
+        self,
+        session_index: int,
+        player_index: int,
+        delta: int = 1,
+        on_complete=None,
+    ):
+        """One in-session game-state update, routed to its shard."""
+        self.events_submitted += 1
+        return self.router.submit_session_event(
+            self.session_id(session_index),
+            self.player_id(player_index),
+            delta,
+            on_complete=on_complete,
+        )

@@ -37,7 +37,10 @@ from ..game.assets import asset_key
 from ..game.events import EventType, GameEvent, affected_assets
 from .doom_contract import item_key
 
-__all__ = ["ShimConfig", "ShimStats", "Batch", "Shim", "MERGEABLE_EVENTS"]
+__all__ = [
+    "ShimConfig", "ShimStats", "Batch", "Shim", "ShardRouter",
+    "MERGEABLE_EVENTS",
+]
 
 #: Event types whose consecutive occurrences merge into one query object.
 MERGEABLE_EVENTS = frozenset({EventType.SHOOT, EventType.LOCATION})
@@ -345,4 +348,90 @@ class Shim(BlockchainClient):
             (len(lane.inflight.events) if lane.inflight else 0)
             + sum(len(b.events) for b in lane.queue)
             for lane in self._lanes.values()
+        )
+
+
+# ----------------------------------------------------------------------
+# shard routing
+
+
+class ShardRouter:
+    """Routes session submissions to the shard owning their keys.
+
+    Sits between game-side code (shims, session pools) and a
+    :class:`~repro.blockchain.sharding.ShardedDeployment`: callers keep
+    invoking by *session*, and the router resolves the session to its
+    shard (crc32 of the session's key prefix — stable across runs) and
+    submits through that shard's client.  Game code never names a
+    shard, so re-sharding is a deployment change, not a game change.
+    """
+
+    def __init__(
+        self,
+        deployment,
+        contract_name: str = "shardasset",
+        client_prefix: str = "router",
+        poll_interval_ms: Optional[float] = None,
+    ):
+        self.deployment = deployment
+        self.contract_name = contract_name
+        self.client_prefix = client_prefix
+        self.poll_interval_ms = poll_interval_ms
+        self.submitted_by_shard: List[int] = [0] * deployment.n_shards
+
+    # -- mapping -------------------------------------------------------
+
+    def shard_of_session(self, session_id: str) -> int:
+        return self.deployment.shard_index_for_session(session_id)
+
+    def shard_of_key(self, key: str) -> int:
+        return self.deployment.shard_index_for_key(key)
+
+    def client_for_session(self, session_id: str) -> BlockchainClient:
+        return self.deployment.client_for_shard(
+            self.shard_of_session(session_id),
+            self.client_prefix,
+            poll_interval_ms=self.poll_interval_ms,
+        )
+
+    # -- routing -------------------------------------------------------
+
+    def submit(
+        self,
+        session_id: str,
+        function: str,
+        args: Tuple,
+        touched_keys: Tuple[str, ...] = (),
+        on_complete=None,
+    ) -> Tuple[int, str]:
+        """Route one contract invocation to the session's shard.
+
+        Returns ``(shard_index, tx_id)``.
+        """
+        shard_index = self.shard_of_session(session_id)
+        client = self.deployment.client_for_shard(
+            shard_index, self.client_prefix,
+            poll_interval_ms=self.poll_interval_ms,
+        )
+        tx_id = client.invoke(
+            self.contract_name, function, args,
+            touched_keys=touched_keys, on_complete=on_complete,
+        )
+        self.submitted_by_shard[shard_index] += 1
+        return shard_index, tx_id
+
+    def submit_session_event(
+        self,
+        session_id: str,
+        player_id: str,
+        delta: int = 1,
+        on_complete=None,
+    ) -> Tuple[int, str]:
+        """Route one game-state update (``sess/<sid>/p/<pid>``)."""
+        from ..blockchain.swaps import session_key
+
+        return self.submit(
+            session_id, "session_event", (session_id, player_id, delta),
+            touched_keys=(session_key(session_id, player_id),),
+            on_complete=on_complete,
         )

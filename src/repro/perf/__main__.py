@@ -6,15 +6,18 @@ Examples::
     python -m repro.perf --out BENCH_engine.json    # full suite
     python -m repro.perf --quick --check benchmarks/BENCH_engine_baseline.json
     python -m repro.perf --only replay-32p --profile
+    python -m repro.perf --quick --workloads 'sharded-replay-*'
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 
 from .runner import check_against_baseline, dump_json, load_json, run_suite
+from .workloads import WORKLOADS
 
 
 def main(argv=None) -> int:
@@ -29,6 +32,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only", nargs="+", metavar="NAME",
         help="run only the named workloads (e.g. replay-32p sync-round)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", metavar="GLOB",
+        help="run only workloads whose name matches one of the shell-style "
+        "globs (e.g. 'sharded-replay-*'); composes with --only",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -65,8 +73,23 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    only = list(args.only) if args.only else None
+    if args.workloads:
+        matched = [
+            w.name for w in WORKLOADS
+            if any(fnmatch.fnmatch(w.name, pattern) for pattern in args.workloads)
+        ]
+        if not matched:
+            print(
+                f"[perf] no workload matches {args.workloads} "
+                f"(known: {[w.name for w in WORKLOADS]})",
+                file=sys.stderr,
+            )
+            return 2
+        only = sorted(set(matched) | set(only or []))
+
     record = run_suite(
-        quick=args.quick, profile=args.profile, only=args.only,
+        quick=args.quick, profile=args.profile, only=only,
         trace_dir=args.trace, executor=args.executor,
     )
 
@@ -105,9 +128,11 @@ def main(argv=None) -> int:
     }, indent=2))
 
     if args.check:
-        ok, problems = check_against_baseline(
-            record, load_json(args.check), tolerance=args.tolerance
+        ok, problems, skipped = check_against_baseline(
+            record, load_json(args.check), tolerance=args.tolerance, only=only
         )
+        for skip in skipped:
+            print(f"[perf] SKIPPED: {skip}", file=sys.stderr)
         if not ok:
             for problem in problems:
                 print(f"[perf] REGRESSION: {problem}", file=sys.stderr)

@@ -14,7 +14,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .workloads import WORKLOADS, calibration_ms
 
-__all__ = ["run_suite", "check_against_baseline", "profile_workload"]
+__all__ = ["run_suite", "check_against_baseline", "profile_workload", "scaling_report"]
 
 SCHEMA = "repro.perf/1"
 
@@ -137,6 +137,18 @@ def run_suite(
             )
     record["total_wall_s"] = round(time.perf_counter() - t0, 3)
 
+    scaling = scaling_report(record["workloads"])
+    if scaling is not None:
+        record["scaling"] = scaling
+        if verbose:
+            for shards, eff in scaling["efficiency"].items():
+                print(
+                    f"[perf] scaling: {shards} shards -> "
+                    f"{scaling['speedup'][shards]:.2f}x speedup "
+                    f"(efficiency {eff:.2f})",
+                    file=sys.stderr,
+                )
+
     if profile:
         # Profile the largest replay in the selection (replay names end in
         # "<N>p"): the 32-peer replay is where the O(N^2) gossip dominates
@@ -157,29 +169,80 @@ def run_suite(
     return record
 
 
+def scaling_report(workloads: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Scaling-efficiency summary over the ``sharded-replay-<n>s`` runs.
+
+    Every shard count runs the same logical workload on the same total
+    peer count, and throughput is measured in *simulated* time, so
+    ``speedup(n) = throughput(n) / throughput(1)`` isolates the
+    pipeline-parallelism win and ``efficiency(n) = speedup(n) / n`` is
+    directly comparable across hosts.  Returns None unless the 1-shard
+    base and at least one multi-shard run are present.
+    """
+    prefix, suffix = "sharded-replay-", "s"
+    throughput: Dict[int, float] = {}
+    for name, entry in workloads.items():
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        eps = entry.get("sim_metrics", {}).get("throughput_eps")
+        if eps:
+            throughput[int(name[len(prefix):-len(suffix)])] = eps
+    if 1 not in throughput or len(throughput) < 2:
+        return None
+    base = throughput[1]
+    report: Dict[str, Any] = {
+        "base": f"{prefix}1{suffix}",
+        "throughput_eps": {str(n): round(throughput[n], 6) for n in sorted(throughput)},
+        "speedup": {},
+        "efficiency": {},
+    }
+    for n in sorted(throughput):
+        if n == 1:
+            continue
+        speedup = throughput[n] / base
+        report["speedup"][str(n)] = round(speedup, 4)
+        report["efficiency"][str(n)] = round(speedup / n, 4)
+    return report
+
+
 def check_against_baseline(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
     tolerance: float = 0.25,
     min_wall_s: float = 0.25,
-) -> Tuple[bool, List[str]]:
+    min_efficiency: float = 0.375,
+    only: Optional[List[str]] = None,
+) -> Tuple[bool, List[str], List[str]]:
     """Compare a run against a checked-in baseline.
 
-    Timings are compared through the ``normalized`` figure (wall-clock
-    divided by the host calibration loop) so a slower CI runner is not
-    misread as an engine regression; a workload fails when it is more
-    than ``tolerance`` slower than baseline.  Workloads whose wall time
-    is under ``min_wall_s`` on both sides skip the timing gate — below
-    that, timer and calibration noise dwarf any real engine change.
+    Returns ``(ok, problems, skipped)``.  Timings are compared through
+    the ``normalized`` figure (wall-clock divided by the host
+    calibration loop) so a slower CI runner is not misread as an engine
+    regression; a workload fails when it is more than ``tolerance``
+    slower than baseline.  Workloads whose wall time is under
+    ``min_wall_s`` on both sides skip the timing gate — below that,
+    timer and calibration noise dwarf any real engine change.
     Simulated metrics must match exactly regardless of size: the engine
     may get faster, never different.
 
-    A malformed baseline (no ``workloads`` mapping) and workloads present
-    in the current run but absent from the baseline are reported as
-    explicit problems rather than raising or passing silently: both mean
-    the baseline predates the current suite and must be regenerated.
+    Workloads present in the current run but absent from the baseline
+    are *skipped*, not failed: a filtered run (``--workloads``) or a
+    freshly added workload is gated on what the baseline does cover,
+    and the skip is reported so a stale baseline stays visible.  A
+    malformed baseline (no ``workloads`` mapping) is still a failure.
+    Symmetrically, ``only`` names the workloads the run was filtered
+    to: baseline entries outside the filter are skipped (they were
+    never run), while a baseline entry *inside* the filter that the
+    run failed to produce is still a failure.
+
+    When the current run carries a ``scaling`` section (the sharded
+    replays all ran), every shard count's parallel efficiency must meet
+    ``min_efficiency`` — the scale-out subsystem's headline guarantee,
+    gated absolutely rather than against the baseline so it can never
+    ratchet down.
     """
     problems: List[str] = []
+    skipped: List[str] = []
     base_workloads = baseline.get("workloads")
     if not isinstance(base_workloads, dict):
         return (
@@ -188,17 +251,31 @@ def check_against_baseline(
                 "baseline is malformed: no 'workloads' mapping "
                 "(regenerate it with python -m repro.perf)"
             ],
+            skipped,
         )
     cur_workloads = current.get("workloads", {})
     for name in sorted(cur_workloads):
         if name not in base_workloads:
-            problems.append(
-                f"{name}: present in current run but missing from baseline "
-                "(stale baseline — regenerate it with python -m repro.perf)"
+            skipped.append(
+                f"{name}: not in baseline — timing not gated "
+                "(regenerate the baseline to cover it)"
             )
+    scaling = current.get("scaling")
+    if isinstance(scaling, dict):
+        for shards, efficiency in sorted(scaling.get("efficiency", {}).items()):
+            if efficiency < min_efficiency:
+                problems.append(
+                    f"scaling: {shards}-shard efficiency {efficiency:.3f} "
+                    f"below the {min_efficiency} floor"
+                )
     for name, base_entry in base_workloads.items():
         cur_entry = current.get("workloads", {}).get(name)
         if cur_entry is None:
+            if only is not None and name not in only:
+                skipped.append(
+                    f"{name}: in baseline but excluded by the workload filter"
+                )
+                continue
             problems.append(f"{name}: missing from current run")
             continue
         if cur_entry.get("params") != base_entry.get("params"):
@@ -228,7 +305,7 @@ def check_against_baseline(
                 f"{name}: {cur_norm:.2f} normalized vs baseline {base_norm:.2f} "
                 f"(> {tolerance:.0%} regression)"
             )
-    return (not problems, problems)
+    return (not problems, problems, skipped)
 
 
 def load_json(path: str) -> Dict[str, Any]:

@@ -343,6 +343,181 @@ def session_replay(
 
 
 # ----------------------------------------------------------------------
+# workload 4: sharded replay (1000+ sessions over per-shard pipelines)
+
+
+def sharded_replay(
+    n_shards: int,
+    n_peers: int = 16,
+    n_sessions: int = 1000,
+    players_per_session: int = 100,
+    n_events: int = 3000,
+    swap_fraction: float = 0.02,
+    seed: int = 11,
+    telemetry=None,
+    executor: str = "serial",
+) -> WorkloadResult:
+    """Route an MMOG-scale event stream across ``n_shards`` pipelines.
+
+    All shard counts run the *same* logical workload — fixed total peer
+    count, fixed session/player population, fixed event schedule — so
+    dividing the committed-event throughput of an 8-shard run by the
+    1-shard run measures scaling efficiency and nothing else.  A
+    ``swap_fraction`` slice of the load is cross-session asset trades
+    driven through the two-phase swap protocol (degenerating to plain
+    transfers when both sessions land on one shard).
+
+    Throughput is *simulated-time* events per second: makespan is the
+    sim-clock span from the start of injection to the last ledger
+    append, which is deterministic at a fixed seed and independent of
+    host speed — exactly what a scaling ratio should compare.
+    """
+    from ..blockchain.sharding import ShardedDeployment
+    from ..blockchain.swaps import (
+        ShardAssetContract,
+        SwapCoordinator,
+        asset_key,
+        check_conservation,
+    )
+    from ..core import ShardedSessionPool
+
+    if executor not in ("serial", "parallel"):
+        raise ValueError(f"unknown executor mode {executor!r}")
+    if executor == "parallel":
+        from ..staticcheck.plan import ConflictPlanner
+
+        ConflictPlanner.for_contract(ShardAssetContract)
+
+    n_swaps = int(n_events * swap_fraction)
+    rng = random.Random(seed)
+    # (src session, dst session) per swap — drawn before the clock
+    # starts so the trade plan is identical for every shard count.
+    trades = [
+        (rng.randrange(n_sessions), rng.randrange(n_sessions))
+        for _ in range(n_swaps)
+    ]
+
+    t0 = time.perf_counter()
+    deployment = ShardedDeployment(
+        n_peers=n_peers,
+        n_shards=n_shards,
+        config=FabricConfig(
+            max_block_txs=10,
+            # Signature checks are host-side CPU with no simulated cost;
+            # at 100k-player scale they only slow the host down.
+            verify_signatures=False,
+            parallel_validation=(executor == "parallel"),
+        ),
+        seed=seed,
+    )
+    deployment.install_contract(ShardAssetContract)
+    if telemetry is not None:
+        telemetry.instrument_sharded(deployment)
+    pool = ShardedSessionPool(
+        deployment, n_sessions, players_per_session, poll_interval_ms=250.0
+    )
+
+    # -- untimed-in-sim setup: mint one tradable asset per swap --------
+    minted: Dict[str, int] = {}
+    mint_failures = [0]
+
+    def on_mint(result, _latency):
+        if result.code != TxValidationCode.VALID:
+            mint_failures[0] += 1
+
+    for j, (src, _dst) in enumerate(trades):
+        aid = f"a{j:04d}"
+        minted[aid] = 100 + j
+        pool.router.submit(
+            pool.session_id(src), "mint",
+            (aid, pool.session_id(src), minted[aid]),
+            touched_keys=(asset_key(aid),),
+            on_complete=on_mint,
+        )
+    deployment.run_until_idle()
+
+    # -- the measured stream -------------------------------------------
+    measure_start = deployment.now
+    last_commit = [measure_start]
+    for peer in deployment.all_peers():
+        def on_append(block, executions, codes, _peer=peer):
+            last_commit[0] = max(last_commit[0], deployment.now)
+        peer.ledger.on_append = on_append
+
+    codes_tally: Dict[str, int] = {}
+
+    def on_event(result, _latency):
+        codes_tally[result.code] = codes_tally.get(result.code, 0) + 1
+
+    # Saturating injection: fast enough that every shard's orderer cuts
+    # full blocks at every shard count (a trickle would make the 8-shard
+    # run pay timeout-cut partial blocks and measure the batcher, not
+    # the pipelines).  The makespan is then capacity-bound — the thing
+    # a scaling ratio should compare.
+    inject_interval_ms = 0.05
+    for i in range(n_events):
+        # Round-robin distinct (session, player) pairs: every event
+        # touches a unique key, so shard counts are compared on the
+        # same conflict-free load.
+        sid = i % n_sessions
+        pid = (i // n_sessions) % players_per_session
+        deployment.scheduler.call_at(
+            measure_start + i * inject_interval_ms,
+            pool.submit_event, sid, pid, 1, on_event,
+        )
+
+    coordinator = SwapCoordinator(deployment, telemetry=telemetry)
+    inject_span_ms = n_events * inject_interval_ms
+    for j, (src, dst) in enumerate(trades):
+        deployment.scheduler.call_at(
+            measure_start + (j + 1) * inject_span_ms / (n_swaps + 1),
+            coordinator.start_swap,
+            f"swap{j:04d}", f"a{j:04d}",
+            pool.shard_of(src), pool.shard_of(dst),
+            pool.session_id(dst), minted[f"a{j:04d}"],
+        )
+
+    deployment.run_until_idle()
+    wall = time.perf_counter() - t0
+
+    makespan_ms = max(last_commit[0] - measure_start, 1e-9)
+    accepted = codes_tally.get(TxValidationCode.VALID, 0)
+    rejected = sum(codes_tally.values()) - accepted
+    return WorkloadResult(
+        name=f"sharded-replay-{n_shards}s",
+        wall_s=wall,
+        params={
+            "n_shards": n_shards,
+            "n_peers": n_peers,
+            "n_sessions": n_sessions,
+            "players_per_session": players_per_session,
+            "n_events": n_events,
+            "swap_fraction": swap_fraction,
+            "seed": seed,
+        },
+        executor=executor,
+        sim_metrics={
+            "accepted": accepted,
+            "rejected": rejected,
+            "mint_failures": mint_failures[0],
+            "swap_outcomes": coordinator.outcomes(),
+            "swaps_unresolved": coordinator.unresolved(),
+            "committed_txs": deployment.committed_tx_count(),
+            "committed_heights": deployment.committed_heights(),
+            "ledgers_agree": deployment.ledgers_agree(),
+            "conservation_problems": check_conservation(
+                deployment, minted, quiescent=True
+            ),
+            "sessions_per_shard": pool.sessions_per_shard(),
+            "makespan_ms": round(makespan_ms, 6),
+            "throughput_eps": round(accepted / (makespan_ms / 1000.0), 6),
+            "sim_now_ms": round(deployment.now, 6),
+            "scheduler_events": deployment.scheduler.events_processed,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 
 WORKLOADS: Tuple[Workload, ...] = (
     Workload(
@@ -380,5 +555,45 @@ WORKLOADS: Tuple[Workload, ...] = (
         quick={"n_peers": 32, "n_events": 200, "seed": 7},
         traceable=True,
         takes_executor=True,
+    ),
+    # The sharded family measures shard-count scaling, so the suite
+    # always runs it serial (takes_executor=False): per-shard blocks
+    # are small enough that lane-parallel validation only adds thread
+    # overhead, and its sim_metrics are executor-independent anyway.
+    Workload(
+        name="sharded-replay-1s",
+        fn=sharded_replay,
+        full={"n_shards": 1, "n_peers": 16, "n_sessions": 1000,
+              "players_per_session": 100, "n_events": 3000,
+              "swap_fraction": 0.02, "seed": 11},
+        quick={"n_shards": 1, "n_peers": 16, "n_sessions": 200,
+               "players_per_session": 100, "n_events": 1200,
+               "swap_fraction": 0.02, "seed": 11},
+        traceable=True,
+        takes_executor=False,
+    ),
+    Workload(
+        name="sharded-replay-4s",
+        fn=sharded_replay,
+        full={"n_shards": 4, "n_peers": 16, "n_sessions": 1000,
+              "players_per_session": 100, "n_events": 3000,
+              "swap_fraction": 0.02, "seed": 11},
+        quick={"n_shards": 4, "n_peers": 16, "n_sessions": 200,
+               "players_per_session": 100, "n_events": 1200,
+               "swap_fraction": 0.02, "seed": 11},
+        traceable=True,
+        takes_executor=False,
+    ),
+    Workload(
+        name="sharded-replay-8s",
+        fn=sharded_replay,
+        full={"n_shards": 8, "n_peers": 16, "n_sessions": 1000,
+              "players_per_session": 100, "n_events": 3000,
+              "swap_fraction": 0.02, "seed": 11},
+        quick={"n_shards": 8, "n_peers": 16, "n_sessions": 200,
+               "players_per_session": 100, "n_events": 1200,
+               "swap_fraction": 0.02, "seed": 11},
+        traceable=True,
+        takes_executor=False,
     ),
 )

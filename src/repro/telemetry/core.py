@@ -90,7 +90,9 @@ class Telemetry:
         # Pending lifecycle state, keyed so entries are consumed on use.
         self._submitted_at: Dict[str, float] = {}
         self._enqueued_at: Dict[str, float] = {}
-        self._cut_at: Dict[int, float] = {}
+        #: keyed by block *digest*, not number: in a sharded deployment
+        #: every shard has its own height sequence, so numbers collide.
+        self._cut_at: Dict[str, float] = {}
         self._exec_end: Dict[Tuple[str, int], float] = {}
         self._decided_at: Dict[Tuple[str, int], float] = {}
         self._committed_at: Dict[Tuple[str, int], float] = {}
@@ -111,6 +113,51 @@ class Telemetry:
         for client in getattr(chain, "_clients", {}).values():
             client.telemetry = self
         self.bind_network(chain.net)
+        return self
+
+    def instrument_sharded(self, deployment) -> "Telemetry":
+        """Attach to a :class:`~repro.blockchain.sharding.
+        ShardedDeployment`: every shard's orderer, peers and clients,
+        the shared transport (bound once — the shards share one
+        network), plus per-shard progress gauges.
+
+        The witness defaults to shard 0's first peer, so per-tx spans
+        describe one shard's pipeline; per-stage histograms and the
+        counters aggregate over all shards.
+        """
+        self._sched = deployment.scheduler
+        if self.witness is None:
+            self.witness = deployment.shards[0].peers[0].name
+        deployment.telemetry = self
+        for shard in deployment.shards:
+            shard.telemetry = self
+            shard.orderer.telemetry = self
+            for peer in shard.peers:
+                peer.telemetry = self
+            for client in getattr(shard, "_clients", {}).values():
+                client.telemetry = self
+        for index, shard in enumerate(deployment.shards):
+            def _height(s=shard) -> float:
+                return float(max(p.committed_height for p in s.peers))
+
+            def _throughput(s=shard) -> float:
+                now_s = s.net.scheduler.now / 1000.0
+                if now_s <= 0:
+                    return 0.0
+                peer = max(s.peers, key=lambda p: p.committed_height)
+                return round(len(peer.ledger.committed_tx_ids()) / now_s, 6)
+
+            self.registry.gauge(
+                "shard_committed_height",
+                "max committed block height of the shard",
+                fn=_height, shard=f"s{index}",
+            )
+            self.registry.gauge(
+                "shard_throughput_txs_per_s",
+                "committed transactions per simulated second on the shard",
+                fn=_throughput, shard=f"s{index}",
+            )
+        self.bind_network(deployment.net)
         return self
 
     def instrument_session(self, session) -> "Telemetry":
@@ -197,7 +244,7 @@ class Telemetry:
         self._c_blocks_cut.inc()
         self._c_txs_ordered.inc(len(block.transactions))
         self._h_block_size.observe(len(block.transactions))
-        self._cut_at[block.number] = now
+        self._cut_at[block.digest()] = now
         for tx in block.transactions:
             start = self._enqueued_at.pop(tx.tx_id, now)
             self._span(
@@ -210,7 +257,7 @@ class Telemetry:
     def block_delivered(self, peer_name: str, block) -> None:
         now = self._now()
         self._c_blocks_delivered.inc()
-        start = self._cut_at.get(block.number, now)
+        start = self._cut_at.get(block.digest(), now)
         self._stage_hist("gossip").observe(now - start)
         if peer_name == self.witness:
             for tx in block.transactions:
@@ -270,6 +317,26 @@ class Telemetry:
             self.tracer.add_span(
                 f"block/{block_number}", "sync", peer_name, start, now
             )
+
+    # ------------------------------------------------------------------
+    # cross-shard swap hooks
+
+    def swap_stage(
+        self, swap_id: str, stage: str, t_start: float, t_end: float
+    ) -> None:
+        """One finished protocol stage (prepare / commit / abort) of a
+        cross-shard swap, recorded as a span on the swap's trace and in
+        the per-stage histograms (stages ``swap-prepare`` etc.)."""
+        self._span(swap_id, f"swap-{stage}", "swap-coordinator", t_start, t_end)
+
+    def swap_outcome(self, outcome: str) -> None:
+        """Terminal outcome of one cross-shard swap
+        (``committed`` / ``aborted`` / ``timed_out``)."""
+        self.registry.counter(
+            "cross_shard_swaps_total",
+            "cross-shard swaps by terminal outcome",
+            outcome=str(outcome),
+        ).inc()
 
     # ------------------------------------------------------------------
     # chaos hooks

@@ -1,14 +1,15 @@
 """Unit tests for the perf harness's baseline regression gate.
 
 ``repro.perf --check`` must fail with an actionable message — never a
-KeyError — when the checked-in baseline predates the current suite
-(missing workloads) or is malformed, and must keep enforcing the
-sim-metric / timing gates for the workloads both sides share.
+KeyError — when the checked-in baseline predates the current suite or is
+malformed, must *skip* (and report) workloads the baseline does not
+cover, and must keep enforcing the sim-metric / timing / scaling gates
+for the workloads both sides share.
 """
 
 from __future__ import annotations
 
-from repro.perf.runner import check_against_baseline
+from repro.perf.runner import check_against_baseline, scaling_report
 
 
 def _entry(wall_s=1.0, normalized=10.0, sim=None, params=None):
@@ -25,20 +26,17 @@ def _record(**workloads):
 
 
 class TestStaleOrMalformedBaseline:
-    def test_workload_missing_from_baseline_is_flagged(self):
+    def test_workload_missing_from_baseline_is_skipped_not_failed(self):
         current = _record(old=_entry(), new=_entry())
         baseline = _record(old=_entry())
-        ok, problems = check_against_baseline(current, baseline)
-        assert not ok
-        assert any(
-            "new" in p and "missing from baseline" in p and "regenerate" in p
-            for p in problems
-        )
+        ok, problems, skipped = check_against_baseline(current, baseline)
+        assert ok and problems == []
+        assert any("new" in s and "not in baseline" in s for s in skipped)
 
     def test_malformed_baseline_is_flagged_not_raised(self):
         current = _record(wl=_entry())
         for baseline in ({}, {"workloads": None}, {"workloads": [1, 2]}):
-            ok, problems = check_against_baseline(current, baseline)
+            ok, problems, _skipped = check_against_baseline(current, baseline)
             assert not ok
             assert len(problems) == 1
             assert "malformed" in problems[0]
@@ -46,18 +44,52 @@ class TestStaleOrMalformedBaseline:
     def test_workload_missing_from_current_still_flagged(self):
         current = _record()
         baseline = _record(wl=_entry())
-        ok, problems = check_against_baseline(current, baseline)
+        ok, problems, _skipped = check_against_baseline(current, baseline)
         assert not ok
         assert any("missing from current run" in p for p in problems)
 
 
+class TestWorkloadFilter:
+    """A filtered run (--workloads/--only) gates only what it ran."""
+
+    def test_baseline_entries_outside_filter_are_skipped(self):
+        current = _record(a=_entry())
+        baseline = _record(a=_entry(), b=_entry(), c=_entry())
+        ok, problems, skipped = check_against_baseline(
+            current, baseline, only=["a"]
+        )
+        assert ok and problems == []
+        assert sorted(s.split(":")[0] for s in skipped) == ["b", "c"]
+        assert all("excluded by the workload filter" in s for s in skipped)
+
+    def test_baseline_entry_inside_filter_but_not_run_still_fails(self):
+        current = _record(a=_entry())
+        baseline = _record(a=_entry(), b=_entry())
+        ok, problems, _skipped = check_against_baseline(
+            current, baseline, only=["a", "b"]
+        )
+        assert not ok
+        assert any(p.startswith("b: missing from current run") for p in problems)
+
+    def test_filtered_run_still_gates_what_it_ran(self):
+        current = _record(a=_entry(sim={"accepted": 4}))
+        baseline = _record(a=_entry(sim={"accepted": 5}), b=_entry())
+        ok, problems, _skipped = check_against_baseline(
+            current, baseline, only=["a"]
+        )
+        assert not ok
+        assert any("simulated metrics diverged" in p for p in problems)
+
+
 class TestGates:
     def test_identical_records_pass(self):
-        ok, problems = check_against_baseline(_record(wl=_entry()), _record(wl=_entry()))
-        assert ok and problems == []
+        ok, problems, skipped = check_against_baseline(
+            _record(wl=_entry()), _record(wl=_entry())
+        )
+        assert ok and problems == [] and skipped == []
 
     def test_sim_metric_divergence_fails(self):
-        ok, problems = check_against_baseline(
+        ok, problems, _ = check_against_baseline(
             _record(wl=_entry(sim={"accepted": 4})),
             _record(wl=_entry(sim={"accepted": 5})),
         )
@@ -65,7 +97,7 @@ class TestGates:
         assert any("simulated metrics diverged" in p for p in problems)
 
     def test_timing_regression_fails_beyond_tolerance(self):
-        ok, problems = check_against_baseline(
+        ok, problems, _ = check_against_baseline(
             _record(wl=_entry(normalized=20.0)),
             _record(wl=_entry(normalized=10.0)),
             tolerance=0.25,
@@ -74,16 +106,58 @@ class TestGates:
         assert any("regression" in p for p in problems)
 
     def test_tiny_workloads_skip_timing_gate(self):
-        ok, problems = check_against_baseline(
+        ok, problems, _ = check_against_baseline(
             _record(wl=_entry(wall_s=0.01, normalized=20.0)),
             _record(wl=_entry(wall_s=0.01, normalized=10.0)),
         )
         assert ok and problems == []
 
     def test_param_change_requires_regeneration(self):
-        ok, problems = check_against_baseline(
+        ok, problems, _ = check_against_baseline(
             _record(wl=_entry(params={"n": 2})),
             _record(wl=_entry(params={"n": 1})),
         )
         assert not ok
         assert any("params changed" in p for p in problems)
+
+
+class TestScalingGate:
+    @staticmethod
+    def _sharded(eps_by_shards):
+        return {
+            f"sharded-replay-{n}s": _entry(sim={"throughput_eps": eps})
+            for n, eps in eps_by_shards.items()
+        }
+
+    def test_report_computes_speedup_and_efficiency(self):
+        report = scaling_report(self._sharded({1: 100.0, 4: 300.0, 8: 500.0}))
+        assert report["speedup"] == {"4": 3.0, "8": 5.0}
+        assert report["efficiency"] == {"4": 0.75, "8": 0.625}
+
+    def test_report_needs_single_shard_base(self):
+        assert scaling_report(self._sharded({4: 300.0, 8: 500.0})) is None
+        assert scaling_report(self._sharded({1: 100.0})) is None
+        assert scaling_report({"replay-4p": _entry()}) is None
+
+    def test_efficiency_below_floor_fails_check(self):
+        workloads = self._sharded({1: 100.0, 8: 200.0})  # efficiency 0.25
+        current = {
+            "schema": "repro.perf/1",
+            "workloads": workloads,
+            "scaling": scaling_report(workloads),
+        }
+        baseline = {"schema": "repro.perf/1", "workloads": workloads}
+        ok, problems, _ = check_against_baseline(current, baseline)
+        assert not ok
+        assert any("efficiency" in p and "floor" in p for p in problems)
+
+    def test_efficiency_above_floor_passes(self):
+        workloads = self._sharded({1: 100.0, 8: 400.0})  # efficiency 0.5
+        current = {
+            "schema": "repro.perf/1",
+            "workloads": workloads,
+            "scaling": scaling_report(workloads),
+        }
+        baseline = {"schema": "repro.perf/1", "workloads": workloads}
+        ok, problems, _ = check_against_baseline(current, baseline)
+        assert ok and problems == []
