@@ -20,7 +20,7 @@ import hashlib
 import json
 import random
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "sha256_hex",
@@ -31,6 +31,8 @@ __all__ = [
     "KeyPair",
     "generate_keypair",
     "verify_batch",
+    "reset_crypto_caches",
+    "crypto_cache_sizes",
 ]
 
 _DEFAULT_KEY_BITS = 512
@@ -267,6 +269,28 @@ def generate_keypair(seed, bits: int = _DEFAULT_KEY_BITS) -> KeyPair:
             _KEYPAIR_CACHE.clear()
         _KEYPAIR_CACHE[cache_key] = pair
         return pair
+
+
+def crypto_cache_sizes() -> Dict[str, int]:
+    """Current entry counts of the process-global memo caches."""
+    return {"verify": len(_VERIFY_CACHE), "keypair": len(_KEYPAIR_CACHE)}
+
+
+def reset_crypto_caches() -> Dict[str, int]:
+    """Drop every process-global crypto memo; returns the prior sizes.
+
+    The verify/keypair caches are pure memos — they can never change a
+    verdict or a key — but they *do* change wall-clock timings and, in a
+    forked worker, would start pre-warmed with whatever the parent had
+    verified.  Worker processes of the process-parallel shard engine
+    call this at bootstrap so every worker starts cold deterministically
+    regardless of start method (fork inherits the parent's caches; spawn
+    starts empty; after the reset both look identical).
+    """
+    sizes = crypto_cache_sizes()
+    _VERIFY_CACHE.clear()
+    _KEYPAIR_CACHE.clear()
+    return sizes
 
 
 # ----------------------------------------------------------------------

@@ -51,8 +51,11 @@ __all__ = [
     "SwapState",
     "CrossShardSwap",
     "SwapCoordinator",
+    "DeploymentSwapPort",
     "scan_assets",
+    "scan_from_summaries",
     "check_conservation",
+    "check_conservation_summaries",
 ]
 
 ASSET_PREFIX = "asset/"
@@ -173,6 +176,54 @@ class ShardAssetContract(Contract):
 
 
 # ----------------------------------------------------------------------
+# execution ports
+#
+# The coordinator is a pure host-side state machine; everything it needs
+# from the outside world fits a five-method port, so the same 2PC logic
+# drives both the in-process ShardedDeployment and the process-parallel
+# BridgedShardEngine (repro.blockchain.shardworker.BridgeSwapPort).
+
+
+class DeploymentSwapPort:
+    """The classic backend: direct clients on a shared-clock deployment."""
+
+    def __init__(self, deployment: ShardedDeployment, client_name: str = "swapcoord"):
+        self.deployment = deployment
+        self.client_name = client_name
+
+    @property
+    def now(self) -> float:
+        return self.deployment.now
+
+    @property
+    def swap_timeout_ms(self) -> float:
+        return self.deployment.config.swap_timeout_ms
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any):
+        return self.deployment.scheduler.call_after(delay, fn, *args)
+
+    def submit(
+        self,
+        shard_index: int,
+        contract: str,
+        function: str,
+        args: Tuple,
+        keys: Tuple[str, ...],
+        on_complete: Callable[[TxResult, float], None],
+    ) -> None:
+        client = self.deployment.client_for_shard(
+            shard_index, self.client_name,
+            poll_interval_ms=self.deployment.config.swap_poll_interval_ms,
+        )
+        client.invoke(
+            contract, function, args, touched_keys=keys, on_complete=on_complete
+        )
+
+    def committed_state_get(self, shard_index: int, key: str) -> Any:
+        return self.deployment.committed_state_get(shard_index, key)
+
+
+# ----------------------------------------------------------------------
 # coordinator state machine
 
 
@@ -229,18 +280,29 @@ class SwapCoordinator:
 
     def __init__(
         self,
-        deployment: ShardedDeployment,
+        deployment: Optional[ShardedDeployment] = None,
         contract: str = "shardasset",
         timeout_ms: Optional[float] = None,
         telemetry=None,
         name: str = "swapcoord",
         commit_retries: int = 3,
+        port=None,
     ):
-        self.deployment = deployment
+        """Drive swaps over ``deployment`` (classic shared-clock backend)
+        or an explicit ``port`` (any object with the
+        :class:`DeploymentSwapPort` protocol, e.g. the bridged engine's
+        ``BridgeSwapPort``); exactly one must be given."""
+        if port is None:
+            if deployment is None:
+                raise ValueError("need a deployment or an explicit port")
+            port = DeploymentSwapPort(deployment, client_name=name)
+        elif deployment is not None:
+            raise ValueError("pass either a deployment or a port, not both")
+        self.port = port
+        self.deployment = getattr(port, "deployment", None)
         self.contract = contract
         self.timeout_ms = (
-            timeout_ms if timeout_ms is not None
-            else deployment.config.swap_timeout_ms
+            timeout_ms if timeout_ms is not None else port.swap_timeout_ms
         )
         self.telemetry = telemetry
         self.name = name
@@ -256,13 +318,7 @@ class SwapCoordinator:
 
     @property
     def _now(self) -> float:
-        return self.deployment.now
-
-    def _client(self, shard_index: int):
-        return self.deployment.client_for_shard(
-            shard_index, self.name,
-            poll_interval_ms=self.deployment.config.swap_poll_interval_ms,
-        )
+        return self.port.now
 
     def _submit(self, shard_index: int, function: str, args: Tuple,
                 keys: Tuple[str, ...], handler: Callable[[TxResult], None]) -> None:
@@ -273,9 +329,8 @@ class SwapCoordinator:
                 return
             handler(result)
 
-        self._client(shard_index).invoke(
-            self.contract, function, args,
-            touched_keys=keys, on_complete=on_complete,
+        self.port.submit(
+            shard_index, self.contract, function, args, keys, on_complete
         )
 
     def _mark(self, swap: CrossShardSwap, note: str) -> None:
@@ -347,7 +402,7 @@ class SwapCoordinator:
                 lambda result: self._on_local_transfer(swap, result),
             )
             return swap
-        self._timers[swap_id] = self.deployment.scheduler.call_after(
+        self._timers[swap_id] = self.port.call_after(
             self.timeout_ms, self._on_timeout, swap
         )
         self._submit(
@@ -515,7 +570,7 @@ class SwapCoordinator:
         return actions
 
     def _lock_of(self, swap: CrossShardSwap, shard_index: int) -> Optional[Dict]:
-        lock = self.deployment.committed_state_get(
+        lock = self.port.committed_state_get(
             shard_index, lock_key(swap.asset_id)
         )
         if isinstance(lock, dict) and lock.get("swap") == swap.swap_id:
@@ -523,8 +578,8 @@ class SwapCoordinator:
         return None
 
     def _recover_one(self, swap: CrossShardSwap) -> str:
-        dep = self.deployment
-        src_asset = dep.committed_state_get(swap.src_shard, asset_key(swap.asset_id))
+        port = self.port
+        src_asset = port.committed_state_get(swap.src_shard, asset_key(swap.asset_id))
         if swap.src_shard == swap.dst_shard:
             if src_asset is not None and src_asset.get("owner") == swap.new_owner:
                 self._finish(swap, SwapState.COMMITTED, OUTCOME_COMMITTED)
@@ -533,7 +588,7 @@ class SwapCoordinator:
             return "local-aborted"
         out_lock = self._lock_of(swap, swap.src_shard)
         in_lock = self._lock_of(swap, swap.dst_shard)
-        dst_asset = dep.committed_state_get(swap.dst_shard, asset_key(swap.asset_id))
+        dst_asset = port.committed_state_get(swap.dst_shard, asset_key(swap.asset_id))
         if out_lock is None and in_lock is None:
             # Fully settled one way or the other; the records tell which.
             if dst_asset is not None:
@@ -644,6 +699,30 @@ def scan_assets(
     return out
 
 
+def scan_from_summaries(
+    summaries: Dict[int, Dict[str, Any]],
+) -> Dict[str, Dict[str, List[Tuple[int, Dict[str, Any]]]]]:
+    """Same shape as :func:`scan_assets`, built from worker summaries.
+
+    Bridged engines (:class:`~repro.blockchain.shardworker.BridgedShardEngine`)
+    keep shard state in worker processes; each worker ships its committed
+    asset records and swap locks in its summary dict, so conservation is
+    judged over the wire instead of by touching peer ledgers directly.
+    """
+    out: Dict[str, Dict[str, List[Tuple[int, Dict[str, Any]]]]] = {}
+
+    def slot(asset_id: str) -> Dict[str, List[Tuple[int, Dict[str, Any]]]]:
+        return out.setdefault(asset_id, {"records": [], "locks": []})
+
+    for index in sorted(summaries):
+        summary = summaries[index]
+        for asset_id in sorted(summary.get("assets", {})):
+            slot(asset_id)["records"].append((index, summary["assets"][asset_id]))
+        for asset_id in sorted(summary.get("locks", {})):
+            slot(asset_id)["locks"].append((index, summary["locks"][asset_id]))
+    return out
+
+
 def check_conservation(
     deployment: ShardedDeployment,
     minted: Dict[str, int],
@@ -657,18 +736,39 @@ def check_conservation(
     at its minted value.  At quiescence the rules tighten: exactly one
     live record per asset and no surviving locks at all.
     """
-    problems: List[str] = []
     scan = scan_assets(deployment)
     reachability = [
         deployment.reference_peer(i) is not None
         for i in range(deployment.n_shards)
     ]
     if not any(reachability):
-        return problems  # nothing observable to judge
+        return []  # nothing observable to judge
     # With a whole shard dark, an asset living there is unobservable,
     # not destroyed — only positive evidence (duplicates, value drift)
     # can be judged until every shard is readable again.
-    all_shards_readable = all(reachability)
+    return _check_scan(scan, minted, quiescent, all(reachability))
+
+
+def check_conservation_summaries(
+    summaries: Dict[int, Dict[str, Any]],
+    minted: Dict[str, int],
+    quiescent: bool = True,
+) -> List[str]:
+    """Conservation over bridged-engine worker summaries; [] when it holds.
+
+    Summaries reflect every shard (workers always answer), so the strict
+    all-shards-readable rules apply.
+    """
+    return _check_scan(scan_from_summaries(summaries), minted, quiescent, True)
+
+
+def _check_scan(
+    scan: Dict[str, Dict[str, List[Tuple[int, Dict[str, Any]]]]],
+    minted: Dict[str, int],
+    quiescent: bool,
+    all_shards_readable: bool,
+) -> List[str]:
+    problems: List[str] = []
     for asset_id in sorted(minted):
         entry = scan.get(asset_id, {"records": [], "locks": []})
         records = entry["records"]

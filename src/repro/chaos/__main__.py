@@ -5,6 +5,11 @@ invariant verdict and the timeline digest.  On failure it automatically
 shrinks the schedule to a minimal failing prefix (unless ``--faults``
 was given — that *is* the replay mode) and prints the replay command.
 
+``--catalog [GLOB ...]`` runs every matching scenario instead, one
+status/digest line each; ``--procs N`` spreads the catalog over N
+spawned worker processes with bit-identical digests (scenarios are
+independent seeded worlds, so this is embarrassingly parallel).
+
 Exit status:
 
 * ``0`` — every invariant held;
@@ -22,6 +27,7 @@ import argparse
 import json
 import sys
 
+from .catalog import result_payload, run_catalog, select_scenarios
 from .runner import (
     BUGGY_FIXTURES,
     replay_command,
@@ -34,24 +40,33 @@ from .scenarios import SCENARIOS, get_scenario
 EXIT_TRUNCATED = 3
 
 
-def _result_payload(result) -> dict:
-    return {
-        "scenario": result.scenario,
-        "seed": result.seed,
-        "buggy": result.buggy,
-        "ok": result.ok,
-        "truncated": result.truncated,
-        "wall_s": result.wall_s,
-        "faults_in_schedule": result.faults_in_schedule,
-        "faults_applied": result.faults_applied,
-        "submitted": result.submitted,
-        "workload_summary": result.workload_summary,
-        "probe_codes": result.probe_codes,
-        "committed_height": result.committed_height,
-        "timeline_digest": result.timeline_digest(),
-        "network_stats": result.network_stats,
-        "violations": [v.describe() for v in result.violations],
-    }
+def _catalog_main(args, parser) -> int:
+    names = select_scenarios(args.catalog if args.catalog else ["*"])
+    if not names:
+        parser.error(f"no scenario matches {args.catalog} (see --list)")
+    catalog = run_catalog(
+        names, args.seed, procs=args.procs, max_wall_s=args.max_wall_s
+    )
+    payloads = [catalog["scenarios"][name] for name in names]
+    if args.record is not None:
+        with open(args.record, "w", encoding="utf-8") as fh:
+            json.dump(catalog, fh, indent=2, sort_keys=True)
+    if args.as_json:
+        print(json.dumps(catalog, indent=2, sort_keys=True))
+    else:
+        width = max(len(p["scenario"]) for p in payloads)
+        for p in payloads:
+            status = (
+                "TRUNCATED" if p["truncated"] else "ok" if p["ok"] else "FAIL"
+            )
+            print(
+                f"{p['scenario']:<{width}s}  {status:<9s} "
+                f"faults={p['faults_applied']:<3d} "
+                f"digest={p['timeline_digest']}"
+            )
+    if any(p["truncated"] for p in payloads):
+        return EXIT_TRUNCATED
+    return 0 if all(p["ok"] for p in payloads) else 1
 
 
 def main(argv=None) -> int:
@@ -99,6 +114,19 @@ def main(argv=None) -> int:
         "timeout, which loses the partial record)",
     )
     parser.add_argument(
+        "--catalog", nargs="*", default=None, metavar="GLOB",
+        help="run every scenario matching the shell-style globs (all "
+        "scenarios when no glob is given) instead of a single "
+        "--scenario; prints one status/digest line per scenario in "
+        "name order and exits non-zero if any failed",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=1, metavar="N",
+        help="with --catalog: run scenarios across N spawned worker "
+        "processes; results (digests included) are identical to a "
+        "serial catalog, only wall time changes (default: 1)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
     )
     args = parser.parse_args(argv)
@@ -108,6 +136,11 @@ def main(argv=None) -> int:
             scenario = SCENARIOS[name]
             print(f"{name:22s} {scenario.description}")
         return 0
+
+    if args.catalog is not None:
+        return _catalog_main(args, parser)
+    if args.procs != 1:
+        parser.error("--procs requires --catalog (one scenario is one world)")
 
     try:
         scenario = get_scenario(args.scenario)
@@ -135,10 +168,10 @@ def main(argv=None) -> int:
 
     if args.record is not None:
         with open(args.record, "w", encoding="utf-8") as fh:
-            json.dump(_result_payload(result), fh, indent=2, sort_keys=True)
+            json.dump(result_payload(result), fh, indent=2, sort_keys=True)
 
     if args.as_json:
-        print(json.dumps(_result_payload(result), indent=2, sort_keys=True))
+        print(json.dumps(result_payload(result), indent=2, sort_keys=True))
     else:
         print(f"# schedule ({result.faults_in_schedule} faults)")
         for line in result.schedule.describe():

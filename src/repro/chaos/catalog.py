@@ -1,0 +1,91 @@
+"""Catalog runs: every scenario, optionally across worker processes.
+
+A scenario run is a pure function of ``(scenario, seed)`` — each builds
+its own simulated world — so catalog entries are embarrassingly
+parallel: ``--procs N`` spreads them over N spawned workers and the
+per-scenario results (timeline digests included) are identical to a
+serial catalog.  This lives in a real module (not ``__main__``) because
+spawn-based pickling resolves worker functions by import path.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Any, Dict, List, Optional, Tuple
+
+from .runner import run_scenario
+from .scenarios import SCENARIOS, get_scenario
+
+__all__ = ["result_payload", "run_catalog", "select_scenarios"]
+
+
+def result_payload(result) -> Dict[str, Any]:
+    """The machine-readable form of one scenario result."""
+    return {
+        "scenario": result.scenario,
+        "seed": result.seed,
+        "buggy": result.buggy,
+        "ok": result.ok,
+        "truncated": result.truncated,
+        "wall_s": result.wall_s,
+        "faults_in_schedule": result.faults_in_schedule,
+        "faults_applied": result.faults_applied,
+        "submitted": result.submitted,
+        "workload_summary": result.workload_summary,
+        "probe_codes": result.probe_codes,
+        "committed_height": result.committed_height,
+        "timeline_digest": result.timeline_digest(),
+        "network_stats": result.network_stats,
+        "violations": [v.describe() for v in result.violations],
+    }
+
+
+def select_scenarios(patterns: List[str]) -> List[str]:
+    """Scenario names matching any shell-style glob, in name order."""
+    return sorted(
+        name for name in SCENARIOS
+        if any(fnmatch.fnmatch(name, pattern) for pattern in patterns)
+    )
+
+
+def _run_entry(item: Tuple[str, int, Optional[float]]) -> Dict[str, Any]:
+    name, seed, max_wall_s = item
+    result = run_scenario(get_scenario(name), seed, max_wall_s=max_wall_s)
+    return result_payload(result)
+
+
+def run_catalog(
+    names: List[str],
+    seed: int,
+    procs: int = 1,
+    max_wall_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Run the named scenarios and return the catalog record.
+
+    The record maps scenario name to its result payload, in name order
+    regardless of ``procs`` or worker completion order.
+    """
+    if procs < 1:
+        raise ValueError("need at least one process")
+    items = [(name, seed, max_wall_s) for name in sorted(names)]
+    if procs > 1:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        # spawn (not fork): workers start from clean interpreters, so a
+        # parallel catalog cannot inherit warmed caches or scheduler
+        # state the serial catalog would not have.
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=min(procs, len(items)), mp_context=ctx
+        ) as pool:
+            # pool.map preserves submission order: output stays sorted
+            # by scenario name no matter which worker finishes first.
+            payloads = list(pool.map(_run_entry, items))
+    else:
+        payloads = [_run_entry(item) for item in items]
+    return {
+        "seed": seed,
+        "procs": procs,
+        "scenarios": {p["scenario"]: p for p in payloads},
+    }

@@ -215,9 +215,12 @@ class ShardedSessionPool:
     A full :class:`GameSession` builds its own blockchain per room; at
     MMOG scale (the ``sharded-replay`` workloads simulate 1000+ sessions
     and 100k+ players) sessions are instead multiplexed onto the shards
-    of one :class:`~repro.blockchain.sharding.ShardedDeployment`.  Each
-    session's entire key space (``sess/<id>/...``) lives on the shard
-    the :class:`~repro.core.shim.ShardRouter` assigns it, so in-session
+    of one :class:`~repro.blockchain.sharding.ShardedDeployment` — or,
+    for process-parallel runs, onto a
+    :class:`~repro.blockchain.shardworker.BridgedShardEngine` (the
+    router detects the backend; routing is identical).  Each session's
+    entire key space (``sess/<id>/...``) lives on the shard the
+    :class:`~repro.core.shim.ShardRouter` assigns it, so in-session
     events are single-shard transactions; only cross-session trades can
     cross shards (and go through the swap protocol).
     """
@@ -270,12 +273,18 @@ class ShardedSessionPool:
         player_index: int,
         delta: int = 1,
         on_complete=None,
+        effect_time=None,
     ):
-        """One in-session game-state update, routed to its shard."""
+        """One in-session game-state update, routed to its shard.
+
+        ``effect_time`` (absolute sim ms) pre-plans the injection on a
+        bridged engine backend; in-process deployments submit now.
+        """
         self.events_submitted += 1
         return self.router.submit_session_event(
             self.session_id(session_index),
             self.player_id(player_index),
             delta,
             on_complete=on_complete,
+            effect_time=effect_time,
         )

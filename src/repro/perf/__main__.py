@@ -14,9 +14,16 @@ from __future__ import annotations
 import argparse
 import fnmatch
 import json
+import os
 import sys
 
-from .runner import check_against_baseline, dump_json, load_json, run_suite
+from .runner import (
+    check_against_baseline,
+    dump_json,
+    load_json,
+    run_context,
+    run_suite,
+)
 from .workloads import WORKLOADS
 
 
@@ -51,6 +58,23 @@ def main(argv=None) -> int:
         help="block-validation executor for the replay workloads; the two "
         "modes are bit-identical, so either can be --check'ed against the "
         "same baseline (default: the workloads' own default, serial)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=None, metavar="N",
+        help="run the sharded replays' shard pipelines across N worker "
+        "processes (bridged engine; bit-identical to in-process, so any "
+        "N --check's against the same baseline; default: 1, in-process)",
+    )
+    parser.add_argument(
+        "--profile-dir", default=None, metavar="DIR",
+        help="with --procs > 1, each shard worker dumps a cProfile "
+        "(shardworker_*.pstats) into DIR on shutdown",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="allow overwriting a full-mode record with a quick or "
+        "filtered run (refused by default: CI's quick smoke must not "
+        "clobber the checked-in full benchmark record)",
     )
     parser.add_argument(
         "--check", metavar="BASELINE",
@@ -88,10 +112,39 @@ def main(argv=None) -> int:
             return 2
         only = sorted(set(matched) | set(only or []))
 
+    # Refuse before spending minutes on the suite: a quick or filtered
+    # run silently replacing the checked-in full record is exactly how
+    # BENCH_engine.json lost its history once.
+    if not args.force and os.path.exists(args.out):
+        try:
+            existing = load_json(args.out)
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict) and existing.get("mode") == "full":
+            downgrade = []
+            if args.quick:
+                downgrade.append("a quick-mode run")
+            if only is not None:
+                missing = sorted(set(existing.get("workloads", {})) - set(only))
+                if missing:
+                    downgrade.append(
+                        f"a filtered run dropping {missing}"
+                    )
+            if downgrade:
+                print(
+                    f"[perf] refusing to overwrite full-mode record "
+                    f"{args.out} with {' and '.join(downgrade)}; pass "
+                    f"--force to allow it or --out for a separate file",
+                    file=sys.stderr,
+                )
+                return 2
+
     record = run_suite(
         quick=args.quick, profile=args.profile, only=only,
         trace_dir=args.trace, executor=args.executor,
+        procs=args.procs, profile_dir=args.profile_dir,
     )
+    print(f"[perf] host: {run_context(record)}", file=sys.stderr)
 
     if args.baseline_of:
         baseline = load_json(args.baseline_of)

@@ -14,7 +14,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .workloads import WORKLOADS, calibration_ms
 
-__all__ = ["run_suite", "check_against_baseline", "profile_workload", "scaling_report"]
+__all__ = [
+    "run_suite",
+    "check_against_baseline",
+    "profile_workload",
+    "scaling_report",
+    "host_metadata",
+    "run_context",
+]
 
 SCHEMA = "repro.perf/1"
 
@@ -53,6 +60,37 @@ def profile_workload(workload, quick: bool = False, top: int = 10) -> List[Dict[
     return rows
 
 
+def host_metadata() -> Dict[str, Any]:
+    """Where this record was measured: CPU count and load average.
+
+    Stored in every BENCH record and echoed by the regression gate so a
+    mismatch can be read in context — a loaded 1-core runner regressing
+    a wall-clock figure is a very different signal than a quiet 16-core
+    box doing so.
+    """
+    meta: Dict[str, Any] = {"cpu_count": os.cpu_count()}
+    try:
+        meta["loadavg_1m"] = round(os.getloadavg()[0], 2)
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+        meta["loadavg_1m"] = None
+    return meta
+
+
+def run_context(record: Dict[str, Any]) -> str:
+    """One-line host/placement context for a BENCH record."""
+    host = record.get("host") or {}
+    bits = []
+    if host.get("cpu_count") is not None:
+        bits.append(f"cpus={host['cpu_count']}")
+    if host.get("loadavg_1m") is not None:
+        bits.append(f"load1m={host['loadavg_1m']}")
+    if record.get("executor") is not None:
+        bits.append(f"executor={record['executor']}")
+    if record.get("procs") is not None:
+        bits.append(f"procs={record['procs']}")
+    return ", ".join(bits) if bits else "no host metadata"
+
+
 def run_suite(
     quick: bool = False,
     profile: bool = False,
@@ -60,6 +98,8 @@ def run_suite(
     verbose: bool = True,
     trace_dir: Optional[str] = None,
     executor: Optional[str] = None,
+    procs: Optional[int] = None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the workload suite and return the BENCH_engine record.
 
@@ -77,6 +117,13 @@ def run_suite(
     The modes are bit-identical by contract, so a parallel run gates
     cleanly against a serial baseline — the sim-metric comparison then
     doubles as a differential check.
+
+    ``procs`` places the sharded replays' shard pipelines across that
+    many worker processes (the bridged engine; 1 keeps them in-process).
+    Placements are bit-identical by contract too, so any ``procs`` run
+    gates against the same baseline.  ``profile_dir`` additionally asks
+    each worker process to dump a cProfile (``shardworker_*.pstats``)
+    there on shutdown.
     """
     selected = [w for w in WORKLOADS if only is None or w.name in only]
     if only is not None:
@@ -94,10 +141,13 @@ def run_suite(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "calibration_ms": round(cal, 3),
+        "host": host_metadata(),
         "workloads": {},
     }
     if executor is not None:
         record["executor"] = executor
+    if procs is not None:
+        record["procs"] = procs
     t0 = time.perf_counter()
     for workload in selected:
         if verbose:
@@ -107,7 +157,10 @@ def run_suite(
             from ..telemetry import Telemetry
 
             telemetry = Telemetry()
-        result = workload.run(quick=quick, telemetry=telemetry, executor=executor)
+        result = workload.run(
+            quick=quick, telemetry=telemetry, executor=executor,
+            procs=procs, profile_dir=profile_dir,
+        )
         entry = result.as_record()
         entry["normalized"] = round(result.wall_s * 1000.0 / cal, 4)
         if telemetry is not None:
@@ -243,6 +296,10 @@ def check_against_baseline(
     """
     problems: List[str] = []
     skipped: List[str] = []
+    # Host/placement context rides on every mismatch message: a timing
+    # regression on a loaded or smaller box reads differently, and a
+    # sim divergence between placements names the suspect immediately.
+    context = f" [current: {run_context(current)}; baseline: {run_context(baseline)}]"
     base_workloads = baseline.get("workloads")
     if not isinstance(base_workloads, dict):
         return (
@@ -292,7 +349,9 @@ def check_against_baseline(
                 for k in set(base_sim) | set(cur_sim)
                 if base_sim.get(k) != cur_sim.get(k)
             ]
-            problems.append(f"{name}: simulated metrics diverged ({sorted(diffs)})")
+            problems.append(
+                f"{name}: simulated metrics diverged ({sorted(diffs)}){context}"
+            )
         base_norm = base_entry.get("normalized")
         cur_norm = cur_entry.get("normalized")
         if (
@@ -303,7 +362,7 @@ def check_against_baseline(
         if base_norm and cur_norm and cur_norm > base_norm * (1.0 + tolerance):
             problems.append(
                 f"{name}: {cur_norm:.2f} normalized vs baseline {base_norm:.2f} "
-                f"(> {tolerance:.0%} regression)"
+                f"(> {tolerance:.0%} regression){context}"
             )
     return (not problems, problems, skipped)
 

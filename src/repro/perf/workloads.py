@@ -59,6 +59,11 @@ class WorkloadResult:
     #: ``params``: the two modes are bit-identical by contract, so a
     #: parallel run may be gated against a serial baseline.
     executor: Optional[str] = None
+    #: Worker-process count the run used, for workloads that can place
+    #: shards in worker processes.  Like ``executor``, *not* part of
+    #: ``params``: every ``procs`` placement is bit-identical by
+    #: contract, so a ``--procs 8`` run gates against the same baseline.
+    procs: Optional[int] = None
 
     def as_record(self) -> Dict[str, Any]:
         record = {
@@ -69,6 +74,8 @@ class WorkloadResult:
         }
         if self.executor is not None:
             record["executor"] = self.executor
+        if self.procs is not None:
+            record["procs"] = self.procs
         return record
 
 
@@ -88,15 +95,28 @@ class Workload:
     #: replays validate blocks through a ValidationExecutor; the
     #: micro-benchmarks have no peer pipeline to switch).
     takes_executor: bool = False
+    #: Whether the workload accepts ``procs=`` / ``profile_dir=`` kwargs
+    #: (the sharded family runs on the bridged engine and can place its
+    #: shard pipelines in worker processes).
+    takes_procs: bool = False
 
     def run(
-        self, quick: bool = False, telemetry=None, executor: Optional[str] = None
+        self,
+        quick: bool = False,
+        telemetry=None,
+        executor: Optional[str] = None,
+        procs: Optional[int] = None,
+        profile_dir: Optional[str] = None,
     ) -> WorkloadResult:
         kwargs = dict(self.quick if quick else self.full)
         if telemetry is not None and self.traceable:
             kwargs["telemetry"] = telemetry
         if executor is not None and self.takes_executor:
             kwargs["executor"] = executor
+        if procs is not None and self.takes_procs:
+            kwargs["procs"] = procs
+        if profile_dir is not None and self.takes_procs:
+            kwargs["profile_dir"] = profile_dir
         return self.fn(**kwargs)
 
 
@@ -354,8 +374,11 @@ def sharded_replay(
     n_events: int = 3000,
     swap_fraction: float = 0.02,
     seed: int = 11,
+    lookahead_ms: Optional[float] = None,
     telemetry=None,
     executor: str = "serial",
+    procs: int = 1,
+    profile_dir: Optional[str] = None,
 ) -> WorkloadResult:
     """Route an MMOG-scale event stream across ``n_shards`` pipelines.
 
@@ -367,19 +390,28 @@ def sharded_replay(
     driven through the two-phase swap protocol (degenerating to plain
     transfers when both sessions land on one shard).
 
+    Runs on the :class:`~repro.blockchain.shardworker.BridgedShardEngine`:
+    each shard's pipeline lives on its own clock behind a conservative-
+    lookahead time bridge, and ``procs`` places the shard worlds either
+    in-process (``1``) or across spawned worker processes (``N``).  The
+    placements are bit-identical by construction (DESIGN.md §14), so
+    ``procs`` — like ``executor`` — stays out of ``params`` and every
+    placement gates against one baseline; only ``wall_s`` may differ.
+
     Throughput is *simulated-time* events per second: makespan is the
     sim-clock span from the start of injection to the last ledger
     append, which is deterministic at a fixed seed and independent of
     host speed — exactly what a scaling ratio should compare.
     """
-    from ..blockchain.sharding import ShardedDeployment
+    from ..blockchain.shardworker import BridgedShardEngine, BridgeSwapPort
     from ..blockchain.swaps import (
         ShardAssetContract,
         SwapCoordinator,
         asset_key,
-        check_conservation,
+        check_conservation_summaries,
     )
     from ..core import ShardedSessionPool
+    from ..simnet.bridge import DEFAULT_LOOKAHEAD_MS
 
     if executor not in ("serial", "parallel"):
         raise ValueError(f"unknown executor mode {executor!r}")
@@ -387,6 +419,8 @@ def sharded_replay(
         from ..staticcheck.plan import ConflictPlanner
 
         ConflictPlanner.for_contract(ShardAssetContract)
+    if lookahead_ms is None:
+        lookahead_ms = DEFAULT_LOOKAHEAD_MS
 
     n_swaps = int(n_events * swap_fraction)
     rng = random.Random(seed)
@@ -398,7 +432,7 @@ def sharded_replay(
     ]
 
     t0 = time.perf_counter()
-    deployment = ShardedDeployment(
+    engine = BridgedShardEngine(
         n_peers=n_peers,
         n_shards=n_shards,
         config=FabricConfig(
@@ -409,12 +443,12 @@ def sharded_replay(
             parallel_validation=(executor == "parallel"),
         ),
         seed=seed,
+        procs=procs,
+        lookahead_ms=lookahead_ms,
+        profile_dir=profile_dir,
     )
-    deployment.install_contract(ShardAssetContract)
-    if telemetry is not None:
-        telemetry.instrument_sharded(deployment)
     pool = ShardedSessionPool(
-        deployment, n_sessions, players_per_session, poll_interval_ms=250.0
+        engine, n_sessions, players_per_session, poll_interval_ms=250.0
     )
 
     # -- untimed-in-sim setup: mint one tradable asset per swap --------
@@ -433,16 +467,14 @@ def sharded_replay(
             (aid, pool.session_id(src), minted[aid]),
             touched_keys=(asset_key(aid),),
             on_complete=on_mint,
+            effect_time=0.0,
         )
-    deployment.run_until_idle()
+    engine.run()
 
     # -- the measured stream -------------------------------------------
-    measure_start = deployment.now
-    last_commit = [measure_start]
-    for peer in deployment.all_peers():
-        def on_append(block, executions, codes, _peer=peer):
-            last_commit[0] = max(last_commit[0], deployment.now)
-        peer.ledger.on_append = on_append
+    # The bridge horizon after the mint quiesce *is* the control clock,
+    # so measure_start is identical for every placement.
+    measure_start = engine.now
 
     codes_tally: Dict[str, int] = {}
 
@@ -453,7 +485,9 @@ def sharded_replay(
     # full blocks at every shard count (a trickle would make the 8-shard
     # run pay timeout-cut partial blocks and measure the batcher, not
     # the pipelines).  The makespan is then capacity-bound — the thing
-    # a scaling ratio should compare.
+    # a scaling ratio should compare.  The whole stream is pre-planned
+    # (absolute effect times), so it rides the bridge without paying
+    # per-event lookahead latency.
     inject_interval_ms = 0.05
     for i in range(n_events):
         # Round-robin distinct (session, player) pairs: every event
@@ -461,15 +495,18 @@ def sharded_replay(
         # same conflict-free load.
         sid = i % n_sessions
         pid = (i // n_sessions) % players_per_session
-        deployment.scheduler.call_at(
-            measure_start + i * inject_interval_ms,
-            pool.submit_event, sid, pid, 1, on_event,
+        pool.submit_event(
+            sid, pid, 1, on_event,
+            effect_time=measure_start + i * inject_interval_ms,
         )
 
-    coordinator = SwapCoordinator(deployment, telemetry=telemetry)
+    # Swaps are *reactive* control-plane traffic: each 2PC step crosses
+    # the bridge and pays the modeled lookahead transit, like a real
+    # coordinator talking to remote shards would.
+    coordinator = SwapCoordinator(port=BridgeSwapPort(engine), telemetry=telemetry)
     inject_span_ms = n_events * inject_interval_ms
     for j, (src, dst) in enumerate(trades):
-        deployment.scheduler.call_at(
+        engine.call_at(
             measure_start + (j + 1) * inject_span_ms / (n_swaps + 1),
             coordinator.start_swap,
             f"swap{j:04d}", f"a{j:04d}",
@@ -477,10 +514,20 @@ def sharded_replay(
             pool.session_id(dst), minted[f"a{j:04d}"],
         )
 
-    deployment.run_until_idle()
+    engine.run()
+    summaries = engine.collect_summaries()
+    if telemetry is not None:
+        engine.aggregate_telemetry(telemetry)
+    bridge_rounds = engine.bridge.rounds
+    scheduler_events = engine.scheduler_events()
+    sim_now = engine.now
+    engine.close()
     wall = time.perf_counter() - t0
 
-    makespan_ms = max(last_commit[0] - measure_start, 1e-9)
+    last_commit = max(
+        [measure_start] + [s["last_commit_ms"] for s in summaries.values()]
+    )
+    makespan_ms = max(last_commit - measure_start, 1e-9)
     accepted = codes_tally.get(TxValidationCode.VALID, 0)
     rejected = sum(codes_tally.values()) - accepted
     return WorkloadResult(
@@ -494,25 +541,37 @@ def sharded_replay(
             "n_events": n_events,
             "swap_fraction": swap_fraction,
             "seed": seed,
+            "lookahead_ms": lookahead_ms,
         },
         executor=executor,
+        procs=procs,
         sim_metrics={
             "accepted": accepted,
             "rejected": rejected,
             "mint_failures": mint_failures[0],
             "swap_outcomes": coordinator.outcomes(),
             "swaps_unresolved": coordinator.unresolved(),
-            "committed_txs": deployment.committed_tx_count(),
-            "committed_heights": deployment.committed_heights(),
-            "ledgers_agree": deployment.ledgers_agree(),
-            "conservation_problems": check_conservation(
-                deployment, minted, quiescent=True
+            "committed_txs": sum(
+                s["committed_tx_count"] for s in summaries.values()
+            ),
+            "committed_heights": [
+                summaries[i]["committed_height"] for i in range(n_shards)
+            ],
+            "ledgers_agree": [
+                summaries[i]["ledgers_agree"] for i in range(n_shards)
+            ],
+            "state_hashes": [
+                summaries[i]["state_hash"] for i in range(n_shards)
+            ],
+            "conservation_problems": check_conservation_summaries(
+                summaries, minted, quiescent=True
             ),
             "sessions_per_shard": pool.sessions_per_shard(),
             "makespan_ms": round(makespan_ms, 6),
             "throughput_eps": round(accepted / (makespan_ms / 1000.0), 6),
-            "sim_now_ms": round(deployment.now, 6),
-            "scheduler_events": deployment.scheduler.events_processed,
+            "sim_now_ms": round(sim_now, 6),
+            "scheduler_events": scheduler_events,
+            "bridge_rounds": bridge_rounds,
         },
     )
 
@@ -571,6 +630,7 @@ WORKLOADS: Tuple[Workload, ...] = (
                "swap_fraction": 0.02, "seed": 11},
         traceable=True,
         takes_executor=False,
+        takes_procs=True,
     ),
     Workload(
         name="sharded-replay-4s",
@@ -583,6 +643,7 @@ WORKLOADS: Tuple[Workload, ...] = (
                "swap_fraction": 0.02, "seed": 11},
         traceable=True,
         takes_executor=False,
+        takes_procs=True,
     ),
     Workload(
         name="sharded-replay-8s",
@@ -595,5 +656,6 @@ WORKLOADS: Tuple[Workload, ...] = (
                "swap_fraction": 0.02, "seed": 11},
         traceable=True,
         takes_executor=False,
+        takes_procs=True,
     ),
 )

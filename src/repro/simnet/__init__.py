@@ -5,6 +5,7 @@ Dallas / San Jose / Toronto over the Internet, and a 1 Gbps LAN testbed)
 with simulated time; see DESIGN.md §2 for the substitution argument.
 """
 
+from .bridge import DEFAULT_LOOKAHEAD_MS, BridgeError, ShardGroupPort, TimeBridge
 from .clock import Scheduler, SimulationError, Timer
 from .ddos import (
     Attack,
@@ -26,6 +27,10 @@ from .topology import Host, Topology, place_random, place_round_robin
 from .transport import HostCondition, Message, Network, NetworkStats
 
 __all__ = [
+    "DEFAULT_LOOKAHEAD_MS",
+    "BridgeError",
+    "ShardGroupPort",
+    "TimeBridge",
     "Scheduler",
     "SimulationError",
     "Timer",

@@ -1,0 +1,50 @@
+"""Chaos catalog: parallel scenario fan-out is observably serial.
+
+Each chaos scenario builds its own seeded world, so ``--procs N``
+spreads the catalog over spawned workers — and must change *nothing*
+but wall time: same payloads, same timeline digests, same name order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.catalog import run_catalog, select_scenarios
+from repro.chaos.scenarios import SCENARIOS
+
+
+def test_select_scenarios_globs_and_sorts():
+    assert select_scenarios(["*"]) == sorted(SCENARIOS)
+    assert select_scenarios(["smoke"]) == ["smoke"]
+    assert select_scenarios(["no-such-scenario-*"]) == []
+    # duplicates across overlapping globs collapse
+    assert select_scenarios(["smoke", "smok*"]) == ["smoke"]
+
+
+def test_run_catalog_rejects_bad_procs():
+    with pytest.raises(ValueError):
+        run_catalog(["smoke"], seed=7, procs=0)
+
+
+def _strip_wall(catalog):
+    """Wall-clock seconds are the one legitimately nondeterministic field."""
+    return {
+        name: {k: v for k, v in payload.items() if k != "wall_s"}
+        for name, payload in catalog["scenarios"].items()
+    }
+
+
+def test_catalog_procs_is_bit_identical_to_serial():
+    serial = run_catalog(["smoke"], seed=42, procs=1)
+    parallel = run_catalog(["smoke"], seed=42, procs=2)
+    assert serial["procs"] == 1 and parallel["procs"] == 2
+    assert _strip_wall(serial) == _strip_wall(parallel)
+    payload = parallel["scenarios"]["smoke"]
+    assert payload["ok"] is True
+    assert payload["timeline_digest"] == serial["scenarios"]["smoke"]["timeline_digest"]
+
+
+def test_catalog_order_is_name_sorted_regardless_of_procs():
+    names = select_scenarios(["smoke"])
+    catalog = run_catalog(list(reversed(sorted(names))), seed=42, procs=1)
+    assert list(catalog["scenarios"]) == sorted(names)

@@ -161,3 +161,133 @@ class TestScalingGate:
         baseline = {"schema": "repro.perf/1", "workloads": workloads}
         ok, problems, _ = check_against_baseline(current, baseline)
         assert ok and problems == []
+
+
+class TestHostContext:
+    """Satellite: host metadata rides on records and mismatch messages."""
+
+    def test_host_metadata_reports_cpu_and_load(self):
+        from repro.perf.runner import host_metadata
+
+        meta = host_metadata()
+        assert isinstance(meta["cpu_count"], int) and meta["cpu_count"] >= 1
+        assert meta["loadavg_1m"] is None or meta["loadavg_1m"] >= 0.0
+
+    def test_run_context_formats_placement(self):
+        from repro.perf.runner import run_context
+
+        record = {
+            "host": {"cpu_count": 8, "loadavg_1m": 1.25},
+            "executor": "parallel",
+            "procs": 4,
+        }
+        assert run_context(record) == (
+            "cpus=8, load1m=1.25, executor=parallel, procs=4"
+        )
+        assert run_context({}) == "no host metadata"
+
+    def test_mismatch_messages_carry_both_hosts(self):
+        current = _record(w=_entry(sim={"accepted": 5}))
+        current["host"] = {"cpu_count": 1, "loadavg_1m": 3.5}
+        current["procs"] = 8
+        baseline = _record(w=_entry(sim={"accepted": 6}))
+        baseline["host"] = {"cpu_count": 16, "loadavg_1m": 0.1}
+        ok, problems, _ = check_against_baseline(current, baseline)
+        assert not ok
+        message = next(p for p in problems if "diverged" in p)
+        assert "current: cpus=1, load1m=3.5, procs=8" in message
+        assert "baseline: cpus=16, load1m=0.1" in message
+
+    def test_timing_regression_carries_context(self):
+        current = _record(w=_entry(wall_s=9.0, normalized=90.0))
+        current["host"] = {"cpu_count": 2, "loadavg_1m": None}
+        baseline = _record(w=_entry(wall_s=1.0, normalized=10.0))
+        ok, problems, _ = check_against_baseline(current, baseline)
+        assert not ok
+        assert any("regression" in p and "cpus=2" in p for p in problems)
+
+
+class TestOverwriteGuard:
+    """Satellite: the CLI refuses to clobber a full record with less."""
+
+    @staticmethod
+    def _write_record(path, mode="full", workloads=("a", "b")):
+        import json
+
+        record = {
+            "schema": "repro.perf/1",
+            "mode": mode,
+            "workloads": {name: _entry() for name in workloads},
+        }
+        path.write_text(json.dumps(record))
+        return record
+
+    @staticmethod
+    def _stub_suite(monkeypatch, calls):
+        from repro.perf import __main__ as cli
+
+        def fake_run_suite(**kwargs):
+            calls.append(kwargs)
+            return {
+                "schema": "repro.perf/1",
+                "mode": "quick" if kwargs.get("quick") else "full",
+                "host": {"cpu_count": 1, "loadavg_1m": None},
+                "workloads": {"a": _entry()},
+            }
+
+        monkeypatch.setattr(cli, "run_suite", fake_run_suite)
+        return cli
+
+    def test_quick_run_refuses_to_clobber_full_record(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        out = tmp_path / "BENCH.json"
+        before = self._write_record(out, mode="full")
+        calls = []
+        cli = self._stub_suite(monkeypatch, calls)
+        assert cli.main(["--quick", "--out", str(out)]) == 2
+        assert calls == []  # refused before spending time on the suite
+        import json
+
+        assert json.loads(out.read_text()) == before
+        assert "refusing to overwrite" in capsys.readouterr().err
+
+    def test_filtered_run_dropping_workloads_refused(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        out = tmp_path / "BENCH.json"
+        self._write_record(out, mode="full", workloads=("a", "b"))
+        calls = []
+        cli = self._stub_suite(monkeypatch, calls)
+        assert cli.main(["--only", "a", "--out", str(out)]) == 2
+        assert calls == []
+        assert "dropping ['b']" in capsys.readouterr().err
+
+    def test_force_allows_the_overwrite(self, tmp_path, monkeypatch):
+        out = tmp_path / "BENCH.json"
+        self._write_record(out, mode="full")
+        calls = []
+        cli = self._stub_suite(monkeypatch, calls)
+        assert cli.main(["--quick", "--force", "--out", str(out)]) == 0
+        assert len(calls) == 1
+        import json
+
+        assert json.loads(out.read_text())["mode"] == "quick"
+
+    def test_quick_over_quick_record_is_fine(self, tmp_path, monkeypatch):
+        out = tmp_path / "BENCH.json"
+        self._write_record(out, mode="quick")
+        calls = []
+        cli = self._stub_suite(monkeypatch, calls)
+        assert cli.main(["--quick", "--out", str(out)]) == 0
+        assert len(calls) == 1
+
+    def test_full_unfiltered_run_may_replace_full_record(
+        self, tmp_path, monkeypatch
+    ):
+        out = tmp_path / "BENCH.json"
+        self._write_record(out, mode="full")
+        calls = []
+        cli = self._stub_suite(monkeypatch, calls)
+        assert cli.main(["--out", str(out)]) == 0
+        assert len(calls) == 1
