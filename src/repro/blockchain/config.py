@@ -136,6 +136,13 @@ class FabricConfig:
     #: empty tuple keeps the paper's pure timestamp order.
     priority_functions: tuple = ()
 
+    #: Transport backend a deployment constructs when it is not handed an
+    #: existing network: ``"simnet"`` (deterministic discrete-event) or
+    #: ``"realnet"`` (asyncio TCP on a wall clock — see DESIGN.md §15).
+    #: Everything above the transport boundary is backend-agnostic; the
+    #: flag only selects which fabric ``BlockchainNetwork`` builds.
+    backend: str = "simnet"
+
     def with_options(self, **kwargs) -> "FabricConfig":
         """A copy with the given fields replaced."""
         return replace(self, **kwargs)
@@ -151,3 +158,5 @@ class FabricConfig:
             raise ValueError("swap_timeout_ms must be positive")
         if self.swap_poll_interval_ms <= 0:
             raise ValueError("swap_poll_interval_ms must be positive")
+        if self.backend not in ("simnet", "realnet"):
+            raise ValueError(f"unknown transport backend {self.backend!r}")

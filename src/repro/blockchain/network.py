@@ -59,7 +59,15 @@ class BlockchainNetwork:
             raise ValueError("need at least one peer")
         self.config = config if config is not None else FabricConfig()
         self.policy = ConsensusPolicy(policy)
-        self.net = net if net is not None else Network(profile=profile, seed=seed)
+        if net is not None:
+            self.net = net
+        elif self.config.backend == "simnet":
+            self.net = Network(profile=profile, seed=seed)
+        else:
+            # Deferred import: realnet depends on the blockchain codec.
+            from ..realnet import make_network
+
+            self.net = make_network(self.config.backend, profile=profile, seed=seed)
         self.ca = ca if ca is not None else CertificateAuthority(seed=seed)
         self.msp = MembershipProvider()
         self.msp.trust_ca(self.ca)

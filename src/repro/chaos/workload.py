@@ -63,6 +63,14 @@ class CounterWorkload:
     reject).  All submission times and argument choices come from the
     seeded RNG, so a given ``(seed, parameters)`` pair replays the
     identical transaction stream.
+
+    ``max_inflight`` turns the loop closed: a tick whose submission
+    would push the number of unresolved updates past the cap is *shed*
+    (counted in :attr:`shed`) instead of submitted.  On the simulated
+    backend commit latency is a few sim-ms, so a generous cap never
+    engages and the stream is unchanged; on real sockets it is the
+    backpressure that keeps an over-capacity host degrading in
+    throughput rather than in unbounded queueing delay.
     """
 
     def __init__(
@@ -74,6 +82,7 @@ class CounterWorkload:
         conflict_every: int = 4,
         seed: int = 0,
         poll_timeout_ms: float = 20_000.0,
+        max_inflight: Optional[int] = None,
     ):
         self.chain = chain
         self.duration_ms = duration_ms
@@ -83,10 +92,13 @@ class CounterWorkload:
         self.rng = random.Random(seed)
         self.codes: Counter = Counter()
         self.submitted = 0
+        self.shed = 0
+        self.inflight = 0
         self.probe_codes: List[str] = []
         self._clients = []
         self._probe_client = None
         self._poll_timeout_ms = poll_timeout_ms
+        self._max_inflight = max_inflight
         self._installed = False
 
     # ------------------------------------------------------------------
@@ -104,12 +116,15 @@ class CounterWorkload:
             self.chain.peers[0],
             self.chain.peers[len(self.chain.peers) // 2],
         ]
+        # Client names carry the chain's prefix so several sessions can
+        # share one transport (the soak harness) without name clashes.
+        prefix = getattr(self.chain, "name_prefix", "")
         for index, anchor in enumerate(anchors):
-            client = self.chain.create_client(f"wl{index}", anchor=anchor)
+            client = self.chain.create_client(f"{prefix}wl{index}", anchor=anchor)
             client.poll_timeout_ms = self._poll_timeout_ms
             self._clients.append(client)
         self._probe_client = self.chain.create_client(
-            "wl-probe", anchor=self.chain.peers[0]
+            f"{prefix}wl-probe", anchor=self.chain.peers[0]
         )
         self._probe_client.poll_timeout_ms = self._poll_timeout_ms
 
@@ -137,14 +152,23 @@ class CounterWorkload:
         return self
 
     def _submit(self, client_index: int, function: str, args, counter: str) -> None:
+        if self._max_inflight is not None and self.inflight >= self._max_inflight:
+            self.shed += 1
+            return
         client = self._clients[client_index]
         self.submitted += 1
+        self.inflight += 1
+
+        def done(result, latency) -> None:
+            self.inflight -= 1
+            self.codes.update([result.code])
+
         client.invoke(
             ChaosCounterContract.name,
             function,
             args,
             touched_keys=(ChaosCounterContract.key(counter),),
-            on_complete=lambda result, latency: self.codes.update([result.code]),
+            on_complete=done,
         )
 
     # ------------------------------------------------------------------

@@ -88,6 +88,8 @@ def run_context(record: Dict[str, Any]) -> str:
         bits.append(f"executor={record['executor']}")
     if record.get("procs") is not None:
         bits.append(f"procs={record['procs']}")
+    if record.get("backend") is not None:
+        bits.append(f"backend={record['backend']}")
     return ", ".join(bits) if bits else "no host metadata"
 
 
@@ -138,6 +140,10 @@ def run_suite(
     record: Dict[str, Any] = {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",
+        # Perf workloads always measure the deterministic backend; the
+        # tag lets the regression gate refuse a baseline produced by a
+        # wall-clock (realnet/soak) run, whose timings mean something else.
+        "backend": "simnet",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "calibration_ms": round(cal, 3),
@@ -310,6 +316,34 @@ def check_against_baseline(
             ],
             skipped,
         )
+    # Records from different transport backends time different things
+    # entirely (discrete-event cranking vs wall-clock sockets): refuse
+    # the comparison outright rather than report nonsense regressions.
+    cur_backend = current.get("backend", "simnet")
+    base_backend = baseline.get("backend", "simnet")
+    if cur_backend != base_backend:
+        return (
+            False,
+            [
+                f"backend mismatch: current run is {cur_backend!r} but the "
+                f"baseline is {base_backend!r} — cross-backend timing "
+                "comparisons are meaningless; regenerate the baseline on "
+                "the same backend"
+            ],
+            skipped,
+        )
+    # Execution placement differs between the two records: the timing
+    # comparison still runs (normalized figures absorb most of it), but
+    # the mismatch is surfaced rather than discovered inside a cryptic
+    # regression message.
+    for field in ("executor", "procs"):
+        if current.get(field) != baseline.get(field):
+            skipped.append(
+                f"host-context: {field} differs between run and baseline "
+                f"(current={current.get(field)!r}, baseline="
+                f"{baseline.get(field)!r}) — timings compared across "
+                "different execution placements"
+            )
     cur_workloads = current.get("workloads", {})
     for name in sorted(cur_workloads):
         if name not in base_workloads:

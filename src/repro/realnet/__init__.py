@@ -1,0 +1,68 @@
+"""Real-transport backend: the simnet interface over asyncio TCP.
+
+``repro.simnet`` simulates the network deterministically; this package
+runs the *same* peers, ordering service, gossip and client shim over
+real localhost (or multi-process) sockets behind the same two
+interfaces:
+
+* :class:`WallClock` — the :class:`~repro.simnet.clock.Scheduler`
+  contract (``call_at`` / ``call_after`` / ``call_at_anon``, monotone
+  ``now`` in milliseconds, ``run`` / ``run_until_idle``) driven by wall
+  time on an asyncio event loop;
+* :class:`RealNetwork` — the :class:`~repro.simnet.transport.Network`
+  surface (``register`` / ``send`` / ``send_many`` / ``condition`` /
+  ``partition`` / ``fault_injector`` / ``stats``) over length-prefixed
+  :mod:`repro.blockchain.codec` frames on per-channel TCP connections.
+
+:func:`make_network` is the backend factory the deployment constructors
+use; ``FabricConfig(backend="realnet")`` routes through it.  DESIGN.md
+§15 documents which determinism guarantees survive the move to real
+sockets (none of the *safety* invariants depend on determinism — the
+chaos :class:`~repro.chaos.invariants.InvariantMonitor` runs unchanged
+on either backend).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .clock import WallClock
+from .metrics_http import MetricsServer
+from .transport import FrameError, RealHostCondition, RealNetwork
+
+__all__ = [
+    "WallClock",
+    "RealNetwork",
+    "RealHostCondition",
+    "FrameError",
+    "MetricsServer",
+    "make_network",
+    "BACKENDS",
+]
+
+#: The interchangeable transport backends (see DESIGN.md §15).
+BACKENDS = ("simnet", "realnet")
+
+
+def make_network(
+    backend: str,
+    profile=None,
+    seed: int = 0,
+    clock: Optional[WallClock] = None,
+):
+    """Construct a transport backend by name.
+
+    ``simnet`` returns the deterministic discrete-event
+    :class:`~repro.simnet.transport.Network`; ``realnet`` returns a
+    :class:`RealNetwork` on a fresh (or supplied) :class:`WallClock`.
+    Both satisfy the same interface, so everything above the transport
+    boundary — peers, ordering, gossip, shards, clients — runs
+    unmodified on either.
+    """
+    if backend == "simnet":
+        from ..simnet.transport import Network
+
+        return Network(profile=profile, seed=seed)
+    if backend == "realnet":
+        return RealNetwork(clock=clock, profile=profile, seed=seed)
+    raise ValueError(f"unknown transport backend {backend!r} (known: {BACKENDS})")

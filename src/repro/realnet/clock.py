@@ -1,0 +1,321 @@
+"""Wall-clock scheduler satisfying the simnet ``Scheduler`` contract.
+
+:class:`WallClock` is the realnet backend's clock: ``now`` is real
+milliseconds since construction (monotonic — ``time.monotonic`` based,
+immune to NTP steps), and scheduled callbacks fire from an asyncio
+event loop so socket I/O interleaves with timer work in one thread.
+
+The engine's hot paths do not go through ``call_at``: ``peer._compute``
+and the transports push ``(when, seq, fn, args)`` tuples straight onto
+``scheduler._queue`` and bump ``_seq`` / ``_live`` themselves (see
+``repro.simnet.transport``).  :class:`WallClock` therefore keeps the
+*exact same* internal shapes — a ``heapq`` of ``(when, seq, timer)`` /
+``(when, seq, fn, args)`` entries, integer ``_seq`` and ``_live``
+counters, ``_now`` readable as an attribute — so those inlined pushes
+land in the wall-clock queue unchanged.
+
+Contract differences from the deterministic ``Scheduler``, both forced
+by wall time (DESIGN.md §15):
+
+* ``call_at`` with a ``when`` in the past is *allowed* and fires
+  promptly (wall time has already moved on by the time a callback runs;
+  rejecting stale deadlines would make every timer a race);
+* ``run_until_idle`` treats "idle" as: no live queue entries, no
+  transport-reported in-flight work (see :meth:`add_busy_check`), held
+  for a grace window — frames sitting in kernel socket buffers are
+  invisible to the queue, and the grace window covers their flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from typing import Any, Callable, List, Optional
+
+from ..simnet.clock import SimulationError, Timer, _COMPACT_MIN_QUEUE
+
+__all__ = ["WallClock"]
+
+
+class WallClock:
+    """Scheduler-compatible wall clock on a private asyncio loop.
+
+    Usage mirrors :class:`~repro.simnet.clock.Scheduler`::
+
+        clock = WallClock()
+        clock.call_after(10.0, print, "ten real ms later")
+        clock.run_until_idle()
+    """
+
+    #: Longest the pump sleeps with nothing due: a safety net against a
+    #: missed wake-up (all known wake sources call :meth:`kick`).
+    max_sleep_ms = 50.0
+    #: ``run_until_idle``: how long queue-empty + transport-quiet must
+    #: hold before the run is declared idle.  Localhost frames cross the
+    #: kernel in microseconds; 150 ms covers scheduler hiccups too.
+    idle_grace_ms = 150.0
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+        self._loop = loop if loop is not None else asyncio.new_event_loop()
+        self._owns_loop = loop is None
+        self._origin = time.monotonic()
+        self._seq = 0
+        self._queue: List[Any] = []
+        self._events_processed = 0
+        self._live = 0
+        self._cancelled_in_queue = 0
+        self._wake: Optional[asyncio.Event] = None
+        self._busy_checks: List[Callable[[], bool]] = []
+        self._running = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Scheduler surface
+
+    @property
+    def now(self) -> float:
+        """Wall milliseconds since construction (monotone)."""
+        return (time.monotonic() - self._origin) * 1000.0
+
+    @property
+    def _now(self) -> float:
+        # The engine's inlined fast paths read ``scheduler._now`` as an
+        # attribute; a property keeps those reads working verbatim.
+        return (time.monotonic() - self._origin) * 1000.0
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of live events still in the queue (O(1))."""
+        return self._live
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The asyncio loop timers and transport I/O share."""
+        return self._loop
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute clock time ``when`` (ms).
+
+        Unlike the deterministic scheduler, ``when`` in the past is
+        accepted and fires on the next pump pass: against wall time a
+        deadline can be stale the instant it is computed.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        timer = Timer(when, seq, fn, args, self)
+        heapq.heappush(self._queue, (when, seq, timer))
+        self._live += 1
+        self.kick()
+        return timer
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay:.3f}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_at_anon(self, when: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule without a cancellation handle (hot-path shape)."""
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (when, seq, fn, args))
+        self._live += 1
+        self.kick()
+
+    def _on_cancel(self) -> None:
+        """A queued timer was cancelled: adjust counters, maybe compact."""
+        self._live -= 1
+        self._cancelled_in_queue += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._queue[:] = [
+                e for e in self._queue if len(e) == 4 or not e[2]._cancelled
+            ]
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue = 0
+
+    # ------------------------------------------------------------------
+    # realnet extensions
+
+    def rebase(self) -> None:
+        """Reset ``now`` to zero.
+
+        Deployment construction (RSA enrollment, socket binds) burns
+        real time before a workload's first scheduled tick; rebasing
+        afterwards makes schedules anchored at clock time 0 start *now*
+        instead of firing their early ticks as one stale burst.  Queued
+        entries keep their absolute deadlines — on the rebased clock
+        they are simply further in the future.
+        """
+        self._origin = time.monotonic()
+
+    def add_busy_check(self, fn: Callable[[], bool]) -> None:
+        """Register a transport in-flight probe for ``run_until_idle``.
+
+        The queue cannot see a frame that has been written to a socket
+        but not yet read back; the transport reports that window here.
+        """
+        self._busy_checks.append(fn)
+
+    def kick(self) -> None:
+        """Wake the pump: new work arrived from an I/O callback."""
+        wake = self._wake
+        if wake is not None and not wake.is_set():
+            wake.set()
+
+    def close(self) -> None:
+        """Close the owned event loop.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_loop and not self._loop.is_closed():
+            self._loop.close()
+
+    # ------------------------------------------------------------------
+    # running
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until wall time ``until`` (ms on this clock), or — with no
+        ``until`` — until the system quiesces (same as
+        :meth:`run_until_idle`).  ``max_events`` bounds callbacks fired.
+        """
+        self._drive(until=until, max_events=max_events, raise_on_cap=False)
+
+    def run_until_idle(
+        self,
+        max_events: int = 10_000_000,
+        max_wall_ms: Optional[float] = None,
+    ) -> None:
+        """Run until the queue drains and the transport reports quiet for
+        :attr:`idle_grace_ms`.  Raises :class:`SimulationError` if
+        ``max_events`` fire first or ``max_wall_ms`` elapses first — the
+        wall-clock analogue of "the simulation did not quiesce".
+        """
+        self._drive(
+            until=None, max_events=max_events,
+            raise_on_cap=True, max_wall_ms=max_wall_ms,
+        )
+
+    def _drive(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        raise_on_cap: bool,
+        max_wall_ms: Optional[float] = None,
+    ) -> None:
+        if self._running:
+            raise SimulationError("clock is already running")
+        self._running = True
+        try:
+            self._loop.run_until_complete(
+                self._pump(until, max_events, raise_on_cap, max_wall_ms)
+            )
+        finally:
+            self._running = False
+
+    def _fire_due(self) -> int:
+        """Fire every entry whose ``when`` has passed; returns the count."""
+        fired = 0
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            head = queue[0]
+            if len(head) == 3 and head[2]._cancelled:
+                pop(queue)
+                self._cancelled_in_queue -= 1
+                continue
+            if head[0] > self.now:
+                break
+            entry = pop(queue)
+            self._live -= 1
+            if len(entry) == 4:
+                entry[2](*entry[3])
+            else:
+                entry[2]._fire()
+            self._events_processed += 1
+            fired += 1
+        return fired
+
+    def _peek_when(self) -> Optional[float]:
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if len(head) == 3 and head[2]._cancelled:
+                heapq.heappop(queue)
+                self._cancelled_in_queue -= 1
+                continue
+            return head[0]
+        return None
+
+    async def _pump(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        raise_on_cap: bool,
+        max_wall_ms: Optional[float],
+    ) -> None:
+        self._wake = asyncio.Event()
+        started = self.now
+        fired_total = 0
+        idle_since: Optional[float] = None
+        drain = until is None
+        try:
+            while True:
+                fired_total += self._fire_due()
+                if max_events is not None and fired_total >= max_events:
+                    if raise_on_cap:
+                        raise SimulationError(
+                            f"run did not quiesce within {max_events} events"
+                        )
+                    return
+                now = self.now
+                if until is not None and now >= until:
+                    return
+                if max_wall_ms is not None and now - started >= max_wall_ms:
+                    raise SimulationError(
+                        f"run did not quiesce within {max_wall_ms:.0f} ms wall"
+                    )
+                if drain:
+                    busy = self._live > 0 or any(c() for c in self._busy_checks)
+                    if busy:
+                        idle_since = None
+                    elif idle_since is None:
+                        idle_since = now
+                    elif now - idle_since >= self.idle_grace_ms:
+                        return
+
+                delay_ms = self.max_sleep_ms
+                nxt = self._peek_when()
+                if nxt is not None and nxt - now < delay_ms:
+                    delay_ms = nxt - now
+                if until is not None and until - now < delay_ms:
+                    delay_ms = until - now
+                if drain and idle_since is not None:
+                    remaining = self.idle_grace_ms - (now - idle_since)
+                    if remaining < delay_ms:
+                        delay_ms = remaining
+                if delay_ms <= 0:
+                    # Something is already due: yield one loop pass so
+                    # socket callbacks interleave, then fire it.
+                    self._wake.clear()
+                    await asyncio.sleep(0)
+                    continue
+                try:
+                    await asyncio.wait_for(
+                        self._wake.wait(), timeout=delay_ms / 1000.0
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                self._wake.clear()
+        finally:
+            self._wake = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<WallClock now={self.now:.3f} pending={self.pending}>"

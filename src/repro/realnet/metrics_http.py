@@ -1,0 +1,130 @@
+"""A live ``/metrics`` endpoint for the realnet backend.
+
+On simnet the Prometheus exporter writes text files after the run; on
+realnet the run *is* wall time, so the same
+:func:`repro.telemetry.export.prometheus_text` output is served live
+from the clock's asyncio loop — scrapeable with a plain ``curl`` while
+a soak is in flight.  The server is deliberately minimal (HTTP/1.0,
+two routes, connection-per-request): it is an observability tap, not a
+web framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..telemetry.export import prometheus_text
+from .clock import WallClock
+
+__all__ = ["MetricsServer", "scrape"]
+
+
+class MetricsServer:
+    """Serves ``GET /metrics`` (Prometheus 0.0.4 text) and ``/healthz``.
+
+    ``source`` is anything :func:`prometheus_text` accepts — a
+    :class:`~repro.telemetry.Telemetry` or a bare ``MetricsRegistry``.
+    """
+
+    def __init__(
+        self,
+        source,
+        clock: WallClock,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.source = source
+        self.clock = clock
+        self.host = host
+        self.port = port  # 0 until started; then the bound port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    def start(self) -> "MetricsServer":
+        loop = self.clock.loop
+        if loop.is_running():
+            loop.create_task(self._start())
+        else:
+            loop.run_until_complete(self._start())
+        return self
+
+    async def _start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            # Drain headers until the blank line; ignore their content.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if path == "/metrics":
+                body = prometheus_text(self.source).encode("utf-8")
+                status = b"200 OK"
+                ctype = b"text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/healthz":
+                body = b"ok\n"
+                status = b"200 OK"
+                ctype = b"text/plain; charset=utf-8"
+            else:
+                body = b"not found\n"
+                status = b"404 Not Found"
+                ctype = b"text/plain; charset=utf-8"
+            writer.write(
+                b"HTTP/1.0 " + status + b"\r\n"
+                b"Content-Type: " + ctype + b"\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+
+async def scrape(
+    host: str, port: int, path: str = "/metrics", timeout_s: float = 10.0
+) -> str:
+    """A real HTTP GET against a live endpoint; returns the body.
+
+    The soak harness scrapes its own ``/metrics`` mid-run with this —
+    the artifact CI uploads is genuinely what a Prometheus scraper
+    would have seen, not an after-the-fact export.  The whole exchange
+    is bounded by ``timeout_s`` (a Prometheus scrape deadline): a
+    saturated server yields a failed scrape, never a stuck task.
+    """
+
+    async def _get() -> bytes:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            return await reader.read(-1)
+        finally:
+            writer.close()
+
+    raw = await asyncio.wait_for(_get(), timeout=timeout_s)
+    text = raw.decode("utf-8", errors="replace")
+    if "\r\n\r\n" in text:
+        return text.split("\r\n\r\n", 1)[1]
+    return text

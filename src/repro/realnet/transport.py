@@ -1,0 +1,605 @@
+"""The simnet ``Network`` surface over real asyncio TCP sockets.
+
+Wire format
+    One TCP connection per ``(src, dst)`` channel (so per-channel FIFO
+    holds exactly as it does on simnet, where it models Fabric's gRPC
+    over TCP).  Each frame is a 4-byte big-endian length prefix followed
+    by ``repro.blockchain.codec.encode((src_name, dst_name, payload))``
+    — the closed-set binary codec from PR 9, so only protocol messages
+    can cross the wire.  Oversized, truncated or undecodable frames
+    close the connection and are counted; a reader can error, never
+    hang.
+
+Connection management
+    Channels connect lazily on first send and reconnect with exponential
+    backoff (``retry_base_ms`` doubling to ``retry_max_ms``, at most
+    ``max_connect_attempts`` per delivery attempt).  Frames queued on a
+    channel that exhausts its retries are dropped and counted — the same
+    "application protocols own the timeouts" semantics simnet gives a
+    down host.
+
+Peer-crash semantics
+    ``condition(name).down = True`` (what ``Peer.crash()`` and the chaos
+    injector set) closes the host's listening socket and resets every
+    connection touching it; ``down = False`` re-listens on a fresh port
+    and the address book is updated, so reconnecting channels find the
+    revived peer.  :class:`RealHostCondition` carries that side effect
+    on the ``down`` setter, keeping the callers untouched.
+
+Fault injection (netem-style shim)
+    The ``fault_injector`` hook has the exact simnet contract — called
+    ``(msg, deliver_at) -> [times]`` per otherwise-deliverable message;
+    empty list drops, several times duplicate, later times delay — but
+    runs at the *sender* before the socket write, like a ``tc netem``
+    qdisc on the egress interface.  Partitions and ingress conditions
+    (``extra_ingress_ms``, ``ingress_drop_rate``) are enforced around
+    the socket ops the same way, so `repro.chaos` schedules run
+    unmodified on real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..blockchain.codec import CodecError, decode, encode
+from ..simnet.latency import INTERNET_US, LatencyProfile
+from ..simnet.topology import Host, Topology
+from ..simnet.transport import Message, NetworkStats
+from .clock import WallClock
+
+__all__ = ["RealNetwork", "RealHostCondition", "FrameError"]
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A malformed frame arrived: bad length, bad codec, bad shape."""
+
+
+class RealHostCondition:
+    """Per-host fault state whose ``down`` flag actuates the sockets.
+
+    Field-compatible with :class:`~repro.simnet.transport.HostCondition`
+    (``down`` / ``extra_ingress_ms`` / ``ingress_drop_rate``), but
+    ``down`` is a property: flipping it closes or re-opens the host's
+    listener and connections, which is what "crash" *means* on a real
+    transport.
+    """
+
+    __slots__ = ("_net", "_name", "_down", "extra_ingress_ms", "ingress_drop_rate")
+
+    def __init__(self, net: "RealNetwork", name: str):
+        self._net = net
+        self._name = name
+        self._down = False
+        self.extra_ingress_ms = 0.0
+        self.ingress_drop_rate = 0.0
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    @down.setter
+    def down(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._down:
+            return
+        self._down = value
+        self._net._on_down_changed(self._name, value)
+
+
+class _Endpoint:
+    """A registered host's listener state."""
+
+    __slots__ = ("host", "server", "port", "inbound")
+
+    def __init__(self, host: Host):
+        self.host = host
+        self.server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+        #: Writers of accepted inbound connections (closed on crash).
+        self.inbound: Set[asyncio.StreamWriter] = set()
+
+
+class _Channel:
+    """One ordered (src, dst) frame channel: queue + connection."""
+
+    __slots__ = (
+        "src", "dst", "queue", "writer", "task",
+        "connect_attempts", "last_backoff_ms",
+    )
+
+    def __init__(self, src: str, dst: str):
+        self.src = src
+        self.dst = dst
+        self.queue: deque = deque()
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.task: Optional[asyncio.Task] = None
+        #: Failed connect attempts over the channel's lifetime (tests and
+        #: the soak record read this to see backoff at work).
+        self.connect_attempts = 0
+        self.last_backoff_ms = 0.0
+
+
+class RealNetwork:
+    """Drop-in for :class:`~repro.simnet.transport.Network` over TCP.
+
+    The latency ``profile`` is accepted for interface parity and used
+    only for placement metadata (``profile.region_pool``): on realnet,
+    latency comes from the actual kernel and wire, not a model.  Call
+    :meth:`start` after registering all hosts and before :meth:`run`;
+    hosts registered later (late clients) are brought up on the fly.
+    """
+
+    #: Frames above this are protocol errors, not allocations (16 MiB).
+    max_frame_bytes = 16 * 1024 * 1024
+    retry_base_ms = 15.0
+    retry_max_ms = 250.0
+    max_connect_attempts = 8
+
+    def __init__(
+        self,
+        clock: Optional[WallClock] = None,
+        profile: Optional[LatencyProfile] = None,
+        seed: int = 0,
+        bind_host: str = "127.0.0.1",
+    ) -> None:
+        self.scheduler = clock if clock is not None else WallClock()
+        self.profile = profile if profile is not None else INTERNET_US
+        self.rng = random.Random(seed)
+        self.topology = Topology()
+        self.stats = NetworkStats()
+        self.backend = "realnet"
+        self._bind_host = bind_host
+        self._conditions: Dict[str, RealHostCondition] = {}
+        self._endpoints: Dict[str, _Endpoint] = {}
+        #: name -> (host, port): where frames for that name connect to.
+        #: Local listeners register themselves; :meth:`add_remote` adds
+        #: peers living in other processes.
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        self._channels: Dict[Tuple[str, str], _Channel] = {}
+        self._remote_stubs: Dict[str, Host] = {}
+        self._partition_of: Optional[Dict[str, int]] = None
+        self._fault_injector: Optional[Callable[[Message, float], List[float]]] = None
+        #: Frames accepted for transmission but not yet written out (or
+        #: dropped): the transport's contribution to "not idle yet".
+        self._inflight = 0
+        self.frame_errors = 0
+        self.connects = 0
+        self._started = False
+        self._closed = False
+        self.on_stats_event: Optional[Callable[[str, Dict[str, Any]], None]] = None
+        self.telemetry = None
+        self.scheduler.add_busy_check(self._busy)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "RealNetwork":
+        """Bind a listener for every registered (not-down) host."""
+        self._started = True
+        for name in list(self._endpoints):
+            if not self._conditions[name]._down:
+                self._call_async(self._open_endpoint(name))
+        return self
+
+    def close(self, close_clock: bool = True) -> None:
+        """Tear down every socket (and, by default, the clock's loop)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._call_async(self._shutdown())
+        if close_clock:
+            self.scheduler.close()
+
+    async def _shutdown(self) -> None:
+        for channel in self._channels.values():
+            self._reset_channel(channel, drop_queue=True)
+            if channel.task is not None:
+                channel.task.cancel()
+        for name in list(self._endpoints):
+            await self._close_endpoint(name)
+        # Reap the reader tasks of connections we just closed so the
+        # loop shuts down without pending-task warnings.
+        current = asyncio.current_task()
+        pending = [t for t in asyncio.all_tasks() if t is not current]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def _call_async(self, coro) -> None:
+        """Run ``coro`` now (loop idle) or hand it to the running loop."""
+        loop = self.scheduler.loop
+        if loop.is_running():
+            loop.create_task(coro)
+        elif not loop.is_closed():
+            loop.run_until_complete(coro)
+
+    # ------------------------------------------------------------------
+    # registration
+
+    def register(self, host: Host) -> Host:
+        """Attach ``host``: condition, address-book entry and listener."""
+        self.topology.add(host)
+        host.network = self
+        cond = RealHostCondition(self, host.name)
+        self._conditions[host.name] = cond
+        host._condition = cond
+        self._endpoints[host.name] = _Endpoint(host)
+        if self._started:
+            self._call_async(self._open_endpoint(host.name))
+        return host
+
+    def add_remote(self, name: str, host: str, port: int) -> None:
+        """Route frames for ``name`` to another process's listener."""
+        self._addresses[name] = (host, port)
+
+    def condition(self, host_name: str) -> RealHostCondition:
+        return self._conditions[host_name]
+
+    def host(self, name: str) -> Host:
+        return self.topology.get(name)
+
+    @property
+    def fault_injector(self) -> Optional[Callable[[Message, float], List[float]]]:
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(
+        self, fn: Optional[Callable[[Message, float], List[float]]]
+    ) -> None:
+        self._fault_injector = fn
+
+    def port_of(self, name: str) -> Optional[int]:
+        """The host's current listening port (None while down/unbound)."""
+        addr = self._addresses.get(name)
+        return addr[1] if addr is not None else None
+
+    # ------------------------------------------------------------------
+    # listeners
+
+    async def _open_endpoint(self, name: str, port: int = 0) -> None:
+        ep = self._endpoints.get(name)
+        if ep is None or ep.server is not None or self._conditions[name]._down:
+            return
+        server = await asyncio.start_server(
+            lambda r, w: self._serve_conn(name, r, w),
+            host=self._bind_host, port=port,
+        )
+        ep.server = server
+        ep.port = server.sockets[0].getsockname()[1]
+        self._addresses[name] = (self._bind_host, ep.port)
+
+    async def _close_endpoint(self, name: str, forget_address: bool = True) -> None:
+        ep = self._endpoints.get(name)
+        if ep is None:
+            return
+        if forget_address:
+            self._addresses.pop(name, None)
+        if ep.server is not None:
+            ep.server.close()
+            ep.server = None
+        for writer in list(ep.inbound):
+            writer.close()
+        ep.inbound.clear()
+
+    def _on_down_changed(self, name: str, down: bool) -> None:
+        """Crash/restart actuation: map the flag onto socket state."""
+        if name not in self._endpoints:
+            return
+        if down:
+            for channel in self._channels.values():
+                if channel.src == name or channel.dst == name:
+                    self._reset_channel(channel, drop_queue=True)
+            self._call_async(self._close_endpoint(name))
+        elif self._started and not self._closed:
+            self._call_async(self._open_endpoint(name))
+
+    def suspend_listener(self, name: str) -> None:
+        """Close the host's listener but keep its address registered —
+        connects get ECONNREFUSED and back off until
+        :meth:`resume_listener` re-binds the same port.  The transport
+        analogue of a paused (SIGSTOP'd) process, and the hook the
+        retry/backoff tests drive.
+        """
+        ep = self._endpoints[name]
+        self._call_async(self._close_endpoint(name, forget_address=False))
+        self._addresses[name] = (self._bind_host, ep.port)
+
+    def resume_listener(self, name: str) -> None:
+        """Re-bind a suspended host's listener on its recorded port."""
+        ep = self._endpoints[name]
+        port = ep.port if ep.port is not None else 0
+        self._call_async(self._open_endpoint(name, port=port))
+
+    # ------------------------------------------------------------------
+    # sending
+
+    def send(self, src: Host, dst: Host, payload: Any, size_bytes: int = 256) -> None:
+        """Frame ``payload`` and hand it to the (src, dst) channel.
+
+        The pre-wire checks mirror simnet ``Network.send`` exactly:
+        down hosts and partitions drop at the sender, then the fault
+        injector (if any) decides drop/duplicate/delay — all before the
+        codec and the socket, netem-style.
+        """
+        stats = self.stats
+        src_name = src.name
+        dst_name = dst.name
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        src_cond = self._conditions.get(src_name)
+        dst_cond = self._conditions.get(dst_name)
+        if (src_cond is not None and src_cond._down) or (
+            dst_cond is not None and dst_cond._down
+        ):
+            stats.messages_dropped += 1
+            return
+        if self._partition_of is not None:
+            if self._partition_of.get(src_name) != self._partition_of.get(dst_name):
+                stats.messages_dropped += 1
+                stats.messages_dropped_partition += 1
+                return
+        if self._fault_injector is not None:
+            now = self.scheduler.now
+            msg = Message(src_name, dst_name, payload, size_bytes, now)
+            times = self._fault_injector(msg, now)
+            if not times:
+                stats.messages_dropped += 1
+                stats.messages_dropped_fault += 1
+                return
+            if len(times) > 1:
+                stats.messages_duplicated += len(times) - 1
+            if max(times) > now:
+                stats.messages_delayed_fault += 1
+            for when in times:
+                if when <= now:
+                    self._transmit(src_name, dst_name, msg.payload)
+                else:
+                    self.scheduler.call_at_anon(
+                        when, self._transmit, src_name, dst_name, msg.payload
+                    )
+            return
+        self._transmit(src_name, dst_name, payload)
+
+    def send_many(
+        self, src: Host, dsts: Sequence[Host], payload: Any, size_bytes: int = 256
+    ) -> None:
+        """Broadcast = per-destination sends; TCP does the fan-out."""
+        for dst in dsts:
+            self.send(src, dst, payload, size_bytes=size_bytes)
+
+    def _transmit(self, src_name: str, dst_name: str, payload: Any) -> None:
+        data = encode((src_name, dst_name, payload))
+        channel = self._channels.get((src_name, dst_name))
+        if channel is None:
+            channel = _Channel(src_name, dst_name)
+            self._channels[(src_name, dst_name)] = channel
+        channel.queue.append(data)
+        self._inflight += 1
+        if channel.task is None or channel.task.done():
+            loop = self.scheduler.loop
+            if not loop.is_closed():
+                channel.task = loop.create_task(self._drain_channel(channel))
+
+    async def _drain_channel(self, channel: _Channel) -> None:
+        """Write the channel's queue out in order, reconnecting as needed."""
+        write_failures = 0
+        while channel.queue:
+            src_cond = self._conditions.get(channel.src)
+            dst_cond = self._conditions.get(channel.dst)
+            if (src_cond is not None and src_cond._down) or (
+                dst_cond is not None and dst_cond._down
+            ):
+                self._drop_channel_queue(channel)
+                return
+            if channel.writer is None:
+                if not await self._connect_channel(channel):
+                    self._drop_channel_queue(channel)
+                    return
+            data = channel.queue[0]
+            try:
+                writer = channel.writer
+                writer.write(_LEN.pack(len(data)))
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                self._reset_channel(channel, drop_queue=False)
+                write_failures += 1
+                if write_failures > self.max_connect_attempts:
+                    self._drop_channel_queue(channel)
+                    return
+                continue
+            channel.queue.popleft()
+            self._inflight -= 1
+
+    async def _connect_channel(self, channel: _Channel) -> bool:
+        """Exponential-backoff connect; False once retries are exhausted."""
+        backoff = self.retry_base_ms
+        for _attempt in range(self.max_connect_attempts):
+            dst_cond = self._conditions.get(channel.dst)
+            if dst_cond is not None and dst_cond._down:
+                return False
+            addr = self._addresses.get(channel.dst)
+            if addr is not None:
+                try:
+                    _reader, writer = await asyncio.open_connection(addr[0], addr[1])
+                    channel.writer = writer
+                    self.connects += 1
+                    return True
+                except (ConnectionError, OSError):
+                    pass
+            channel.connect_attempts += 1
+            channel.last_backoff_ms = backoff
+            await asyncio.sleep(backoff / 1000.0)
+            backoff = min(backoff * 2.0, self.retry_max_ms)
+        return False
+
+    def _reset_channel(self, channel: _Channel, drop_queue: bool) -> None:
+        if channel.writer is not None:
+            channel.writer.close()
+            channel.writer = None
+        if drop_queue:
+            self._drop_channel_queue(channel)
+
+    def _drop_channel_queue(self, channel: _Channel) -> None:
+        dropped = len(channel.queue)
+        if dropped:
+            channel.queue.clear()
+            self._inflight -= dropped
+            self.stats.messages_dropped += dropped
+
+    def _busy(self) -> bool:
+        return self._inflight > 0
+
+    def _raise_in_run(self, exc: BaseException) -> None:
+        """Schedule ``exc`` to re-raise inside the clock pump, so it
+        surfaces from ``run()`` / ``run_until_idle()`` like a scheduler
+        callback exception would on simnet."""
+        def reraise() -> None:
+            raise exc
+        self.scheduler.call_at_anon(self.scheduler.now, reraise)
+
+    # ------------------------------------------------------------------
+    # receiving
+
+    async def _serve_conn(
+        self, listener: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Per-inbound-connection read loop.
+
+        Every exit path is an explicit error or EOF — a malformed frame
+        (bad length, bad codec, bad shape) closes the connection rather
+        than leaving the reader blocked mid-frame.
+        """
+        ep = self._endpoints.get(listener)
+        if ep is not None:
+            ep.inbound.add(writer)
+        try:
+            while True:
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                if length > self.max_frame_bytes:
+                    raise FrameError(f"frame length {length} exceeds cap")
+                data = await reader.readexactly(length)
+                self._on_frame(data)
+                self.scheduler.kick()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # EOF or peer reset: normal connection teardown
+        except asyncio.CancelledError:
+            pass  # network shutdown reaps readers; exit is the response
+        except (FrameError, CodecError):
+            self.frame_errors += 1
+        except Exception as exc:
+            # An application handler raised.  On simnet that exception
+            # propagates out of ``run()``; re-raise it from the clock
+            # queue so realnet keeps the same contract instead of the
+            # error dying inside an asyncio reader task.
+            self._raise_in_run(exc)
+        finally:
+            if ep is not None:
+                ep.inbound.discard(writer)
+            writer.close()
+
+    def _on_frame(self, data: bytes) -> None:
+        try:
+            frame = decode(data)
+        except CodecError as exc:
+            raise FrameError(f"undecodable frame: {exc}") from exc
+        if not isinstance(frame, (list, tuple)) or len(frame) != 3:
+            raise FrameError(f"bad frame shape: {type(frame).__name__}")
+        src_name, dst_name, payload = frame
+        if not isinstance(src_name, str) or not isinstance(dst_name, str):
+            raise FrameError("frame addresses must be strings")
+        cond = self._conditions.get(dst_name)
+        if cond is not None:
+            if cond._down:
+                self.stats.messages_dropped += 1
+                return
+            if cond.ingress_drop_rate and self.rng.random() < cond.ingress_drop_rate:
+                self.stats.messages_dropped += 1
+                return
+            if cond.extra_ingress_ms > 0.0:
+                self.scheduler.call_at_anon(
+                    self.scheduler.now + cond.extra_ingress_ms,
+                    self._deliver, src_name, dst_name, payload,
+                )
+                return
+        self._deliver(src_name, dst_name, payload)
+
+    def _deliver(self, src_name: str, dst_name: str, payload: Any) -> None:
+        if dst_name not in self.topology:
+            self.stats.messages_dropped += 1
+            return
+        dst = self.topology.get(dst_name)
+        cond = self._conditions.get(dst_name)
+        if cond is not None and cond._down:
+            self.stats.messages_dropped += 1
+            return
+        if src_name in self.topology:
+            src: Host = self.topology.get(src_name)
+        else:
+            # A sender from another process: a stub carries its name so
+            # replies route back through the address book.
+            src = self._remote_stubs.get(src_name)  # type: ignore[assignment]
+            if src is None:
+                src = Host(src_name)
+                src.network = self
+                self._remote_stubs[src_name] = src
+        self.stats.messages_delivered += 1
+        dst.handle_message(src, payload)
+
+    # ------------------------------------------------------------------
+    # partitions
+
+    def partition(self, *groups) -> None:
+        """Sender-side partition, same contract as simnet ``partition``."""
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                mapping[name] = index
+        self._partition_of = mapping
+        self.stats.partitions_started += 1
+        self._emit("partition", {
+            "t": self.scheduler.now,
+            "groups": [sorted(group) for group in groups],
+        })
+
+    def heal(self) -> None:
+        was_active = self._partition_of is not None
+        self._partition_of = None
+        if was_active:
+            self.stats.partitions_healed += 1
+            self._emit("heal", {"t": self.scheduler.now})
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition_of is not None
+
+    def _emit(self, event: str, detail: Dict[str, Any]) -> None:
+        if self.on_stats_event is not None:
+            self.on_stats_event(event, detail)
+
+    # ------------------------------------------------------------------
+    # convenience
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.scheduler.run(until=until, max_events=max_events)
+
+    def run_until_idle(
+        self,
+        max_events: int = 10_000_000,
+        max_wall_ms: Optional[float] = None,
+    ) -> None:
+        self.scheduler.run_until_idle(
+            max_events=max_events, max_wall_ms=max_wall_ms
+        )

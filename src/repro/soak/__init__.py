@@ -1,0 +1,385 @@
+"""Sustained multi-session soak runs over either transport backend.
+
+The chaos harness (``repro.chaos``) answers "does one scripted fault
+scenario preserve the invariants?" on the deterministic simnet.  This
+module answers the operational question the realnet backend exists
+for: does the *same deployment code* — peers, ordering, gossip,
+clients, fault injection — stay healthy under sustained traffic for a
+wall-clock budget, on real sockets, with every invariant the chaos
+layer knows about checked at the end?
+
+A soak run (:func:`run_soak`):
+
+1. builds one shared transport (``simnet`` or ``realnet``) and ``N``
+   independent game sessions on it, each a full
+   :class:`~repro.blockchain.network.BlockchainNetwork` with its own
+   orderer, peers, and :class:`~repro.chaos.workload.CounterWorkload`;
+2. arms per-session :class:`~repro.chaos.injector.FaultInjector`\\ s
+   (drop/delay windows, optional crash/restart churn) behind one
+   composite ``fault_injector`` hook;
+3. attaches a per-session :class:`~repro.chaos.invariants
+   .InvariantMonitor` with :class:`~repro.chaos.invariants
+   .CounterConservation`;
+4. runs for the requested budget, sampling throughput along the way
+   (and, on realnet, serving live ``/metrics`` over HTTP and scraping
+   it mid-run);
+5. lifts all faults, lets the network settle, submits liveness probes,
+   and runs the end-of-run convergence checks.
+
+The returned record is JSON-ready and tagged with the backend, so the
+perf baseline checker can refuse cross-backend comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..blockchain.config import FabricConfig
+from ..blockchain.identity import CertificateAuthority
+from ..blockchain.network import BlockchainNetwork
+from ..chaos.faults import FaultSchedule
+from ..chaos.injector import FaultInjector
+from ..chaos.invariants import CounterConservation, InvariantMonitor
+from ..chaos.workload import CounterWorkload
+from ..realnet import make_network
+from ..simnet.clock import SimulationError
+from ..telemetry import (
+    Telemetry,
+    fig2_latency_bins,
+    prometheus_text,
+    stage_summary,
+)
+
+__all__ = ["SoakConfig", "SoakSession", "run_soak", "write_record"]
+
+SCHEMA = "repro.soak/1"
+
+
+@dataclass
+class SoakConfig:
+    """Knobs of one soak run.  Times are seconds of *clock* time —
+    wall seconds on realnet, simulated seconds on simnet (where the
+    same run completes as fast as the host can turn the crank)."""
+
+    backend: str = "simnet"
+    sessions: int = 2
+    peers: int = 8
+    wall_s: float = 60.0
+    seed: int = 0
+    #: Workload tick interval per session (one counter update per tick).
+    tick_ms: float = 40.0
+    #: Drop rate injected over the middle of the run (0 = no window).
+    drop: float = 0.0
+    #: Extra per-message delay injected over the middle of the run.
+    delay_ms: float = 0.0
+    #: Crash/restart one non-anchor peer per session per ~minute.
+    churn: bool = False
+    #: Closed-loop backpressure: a session's tick is shed (not
+    #: submitted) while this many of its updates are unresolved.  Keeps
+    #: an over-capacity host degrading in throughput instead of
+    #: unbounded queueing delay; on simnet commit latency is a few
+    #: sim-ms, so the cap never engages.
+    max_inflight: int = 32
+    #: Budget for the post-workload settle + convergence phases.
+    settle_s: float = 15.0
+    #: Throughput sample interval.
+    sample_s: float = 5.0
+    #: realnet only: bind the live ``/metrics`` endpoint here (0 = any).
+    metrics_port: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("simnet", "realnet"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.sessions < 1 or self.peers < 1:
+            raise ValueError("need at least one session and one peer")
+        if self.wall_s <= 0:
+            raise ValueError("wall_s must be positive")
+
+
+@dataclass
+class SoakSession:
+    """One game session riding the shared transport."""
+
+    chain: BlockchainNetwork
+    workload: CounterWorkload
+    monitor: InvariantMonitor
+    injector: Optional[FaultInjector]
+    telemetry: Telemetry
+    faults: List[Any] = field(default_factory=list)
+
+
+def _build_schedule(config: SoakConfig, chain: BlockchainNetwork, index: int) -> FaultSchedule:
+    """Per-session fault timeline: drop/delay windows over the middle
+    half of the run, plus optional crash/restart churn rounds."""
+    duration_ms = config.wall_s * 1000.0
+    names = [p.name for p in chain.peers]
+    schedule = FaultSchedule(seed=config.seed + index)
+    window_at = 0.25 * duration_ms
+    window_len = 0.5 * duration_ms
+    if config.drop > 0.0:
+        schedule.drop(window_at, names, window_len, config.drop)
+    if config.delay_ms > 0.0:
+        schedule.delay(window_at, names, window_len, rate=0.5, extra_ms=config.delay_ms)
+    if config.churn:
+        # Workload anchors are peers[0] and peers[n//2]; churn only the
+        # others so client polling always has a live anchor.
+        anchors = {0, len(names) // 2}
+        candidates = [n for i, n in enumerate(names) if i not in anchors]
+        if candidates:
+            rounds = max(1, int(duration_ms // 60_000.0))
+            for r in range(rounds):
+                victim = candidates[(index + r) % len(candidates)]
+                start = (r + 0.35) / rounds * duration_ms
+                stop = min(start + 0.25 / rounds * duration_ms, duration_ms * 0.9)
+                schedule.crash(start, victim).restart(stop, victim)
+    return schedule
+
+
+def _composite_filter(filters):
+    """Chain per-session fault filters behind the transport's single
+    ``fault_injector`` hook.  Each filter maps a delivery time to a
+    list of times (none = drop); times flow through every filter, so
+    disjoint sessions compose without interfering."""
+
+    def apply(msg, deliver_at):
+        times = [deliver_at]
+        for fn in filters:
+            nxt: List[float] = []
+            for t in times:
+                nxt.extend(fn(msg, t))
+            if not nxt:
+                return []
+            times = nxt
+        return times
+
+    return apply
+
+
+def _settle(net, backend: str, budget_ms: float, record: Dict[str, Any]) -> None:
+    """Drain in-flight work; on realnet bounded by wall time."""
+    try:
+        if backend == "realnet":
+            net.run_until_idle(max_wall_ms=budget_ms)
+        else:
+            net.run_until_idle()
+    except SimulationError as exc:
+        record["settle_timeouts"].append(str(exc))
+
+
+def run_soak(
+    config: SoakConfig,
+    metrics_snapshot_path: Optional[str] = None,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run one soak and return its JSON-ready record.
+
+    ``metrics_snapshot_path``: write a Prometheus text snapshot there —
+    on realnet the snapshot is *scraped live over HTTP mid-run* (what a
+    real scraper would have seen), on simnet it is exported at the end.
+    ``progress``: optional ``print``-like callable for CLI narration.
+    """
+    say = progress if progress is not None else (lambda msg: None)
+    started_wall = time.time()
+    duration_ms = config.wall_s * 1000.0
+    backend = config.backend
+
+    say(f"building {config.sessions} session(s) x {config.peers} peers on {backend}")
+    net = make_network(backend, seed=config.seed)
+    if backend == "realnet":
+        net.start()
+    ca = CertificateAuthority(seed=config.seed)
+    fabric = FabricConfig(backend=backend)
+
+    sessions: List[SoakSession] = []
+    for index in range(config.sessions):
+        chain = BlockchainNetwork(
+            config.peers,
+            config=fabric,
+            seed=config.seed + index,
+            net=net,
+            ca=ca,
+            name_prefix=f"s{index}.",
+        )
+        telemetry = Telemetry().instrument_chain(chain)
+        workload = CounterWorkload(
+            chain,
+            duration_ms=duration_ms,
+            interval_ms=config.tick_ms,
+            seed=config.seed + index,
+            poll_timeout_ms=min(20_000.0, config.settle_s * 1000.0),
+            max_inflight=config.max_inflight,
+        ).install()
+        monitor = InvariantMonitor(
+            chain, asset_invariants=(CounterConservation(),)
+        ).attach()
+        schedule = _build_schedule(config, chain, index)
+        injector: Optional[FaultInjector] = None
+        if schedule.events:
+            faults: List[Any] = []
+            injector = FaultInjector(
+                chain, schedule,
+                on_fault=lambda t, kind, targets, _f=faults: _f.append(
+                    {"t_ms": t, "kind": kind, "targets": list(targets)}
+                ),
+            )
+            sessions.append(SoakSession(chain, workload, monitor, injector, telemetry, faults))
+        else:
+            sessions.append(SoakSession(chain, workload, monitor, None, telemetry))
+
+    # install() clobbers net.fault_injector per session; compose after.
+    injectors = [s.injector for s in sessions if s.injector is not None]
+    for injector in injectors:
+        injector.install()
+    if injectors:
+        net.fault_injector = _composite_filter([inj._filter for inj in injectors])
+
+    record: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "backend": backend,
+        "config": asdict(config),
+        "samples": [],
+        "settle_timeouts": [],
+        "faults": [],
+        "violations": [],
+    }
+
+    # Throughput sampler: absolute tick times, shared scheduler.
+    def sample() -> None:
+        record["samples"].append({
+            "t_ms": round(net.scheduler.now, 1),
+            "submitted": sum(s.workload.submitted for s in sessions),
+            "resolved": sum(sum(s.workload.codes.values()) for s in sessions),
+            "committed_heights": [s.chain.peers[0].committed_height for s in sessions],
+        })
+
+    t = config.sample_s * 1000.0
+    while t < duration_ms:
+        net.scheduler.call_at(t, sample)
+        t += config.sample_s * 1000.0
+
+    # Live /metrics endpoint + mid-run self-scrape (realnet only).
+    metrics_server = None
+    scrape_holder: Dict[str, str] = {}
+    if backend == "realnet":
+        from ..realnet.metrics_http import MetricsServer, scrape
+
+        metrics_server = MetricsServer(
+            sessions[0].telemetry, net.scheduler, port=config.metrics_port
+        ).start()
+        record["metrics_url"] = metrics_server.url
+
+        def store_scrape(task) -> None:
+            try:
+                scrape_holder["body"] = task.result()
+            except Exception:
+                pass  # a failed scrape falls back to end-of-run export
+
+        def live_scrape() -> None:
+            task = net.scheduler.loop.create_task(
+                scrape(metrics_server.host, metrics_server.port)
+            )
+            task.add_done_callback(store_scrape)
+
+        net.scheduler.call_at(0.6 * duration_ms, live_scrape)
+        # Construction burned wall time; restart the clock so tick 1 of
+        # the schedules above is "now", not a stale burst.
+        net.scheduler.rebase()
+
+    say(f"running workload for {config.wall_s:.0f}s ({backend} time)")
+    net.run(until=duration_ms)
+
+    say("lifting faults and settling")
+    for injector in injectors:
+        injector.lift_all()
+    _settle(net, backend, config.settle_s * 1000.0, record)
+
+    say("submitting liveness probes")
+    for session in sessions:
+        session.workload.submit_probes()
+    _settle(net, backend, config.settle_s * 1000.0, record)
+
+    say("running invariant checks")
+    violations: List[str] = []
+    for session in sessions:
+        session.monitor.check_convergence()
+        violations.extend(v.describe() for v in session.monitor.violations)
+
+    per_session: List[Dict[str, Any]] = []
+    for session in sessions:
+        per_session.append({
+            "name_prefix": session.chain.name_prefix,
+            "submitted": session.workload.submitted,
+            "shed": session.workload.shed,
+            "codes": session.workload.summary(),
+            "probe_codes": list(session.workload.probe_codes),
+            "committed_height": session.chain.peers[0].committed_height,
+            "commits_checked": session.monitor.commits_checked,
+            "counters": session.workload.expected_totals(),
+            "faults_applied": (
+                session.injector.faults_applied if session.injector else 0
+            ),
+        })
+        record["faults"].extend(session.faults)
+
+    probes_expected = 3 * len(sessions)
+    probe_codes = [c for s in sessions for c in s.workload.probe_codes]
+    probes_valid = sum(1 for c in probe_codes if c == "VALID")
+    if probes_valid < probes_expected:
+        violations.append(
+            f"liveness: {probes_valid}/{probes_expected} probes committed VALID "
+            f"(codes: {probe_codes})"
+        )
+    if record["settle_timeouts"]:
+        violations.append(
+            "settle: network failed to quiesce: "
+            + "; ".join(record["settle_timeouts"])
+        )
+
+    codes: Counter = Counter()
+    for session in sessions:
+        codes.update(session.workload.codes)
+
+    record.update({
+        "wall_elapsed_s": round(time.time() - started_wall, 3),
+        "clock_ms": round(net.scheduler.now, 1),
+        "submitted": sum(s.workload.submitted for s in sessions),
+        "shed": sum(s.workload.shed for s in sessions),
+        "codes": dict(sorted(codes.items())),
+        "per_session": per_session,
+        "net": net.stats.as_dict(),
+        "violations": violations,
+        "ok": not violations,
+        "stage_summary": stage_summary(sessions[0].telemetry),
+        "fig2": fig2_latency_bins(sessions[0].telemetry),
+    })
+    if backend == "realnet":
+        record["transport"] = {
+            "connects": net.connects,
+            "frame_errors": net.frame_errors,
+        }
+
+    if metrics_snapshot_path is not None:
+        if backend == "realnet" and scrape_holder.get("body"):
+            snapshot = scrape_holder["body"]
+            record["metrics_snapshot"] = "live-scrape"
+        else:
+            snapshot = prometheus_text(sessions[0].telemetry)
+            record["metrics_snapshot"] = "export"
+        with open(metrics_snapshot_path, "w") as fh:
+            fh.write(snapshot)
+
+    if metrics_server is not None:
+        metrics_server.stop()
+    if backend == "realnet":
+        net.close()
+    return record
+
+
+def write_record(record: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,125 @@
+"""CLI for the soak harness: ``python -m repro.soak``.
+
+Examples::
+
+    # 60 s of real-socket traffic, 2 sessions x 8 peers, with faults:
+    python -m repro.soak --backend realnet --sessions 2 --peers 8 \\
+        --wall-s 60 --drop 0.05 --delay-ms 20 \\
+        --record soak.json --metrics-snapshot metrics.prom
+
+    # The identical deployment path on the deterministic backend:
+    python -m repro.soak --backend simnet --sessions 2 --peers 8 --wall-s 60
+
+Exit status: 0 when every invariant held, 1 on violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import SoakConfig, run_soak, write_record
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.soak",
+        description="sustained multi-session soak over simnet or realnet",
+    )
+    parser.add_argument(
+        "--backend", choices=("simnet", "realnet"), default="simnet",
+        help="transport backend (default: simnet)",
+    )
+    parser.add_argument("--sessions", type=int, default=2, help="game sessions")
+    parser.add_argument("--peers", type=int, default=8, help="peers per session")
+    parser.add_argument(
+        "--wall-s", type=float, default=60.0,
+        help="workload duration in clock seconds (wall on realnet)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tick-ms", type=float, default=40.0,
+        help="workload tick interval per session",
+    )
+    parser.add_argument(
+        "--drop", type=float, default=0.0,
+        help="message drop rate injected over the middle of the run",
+    )
+    parser.add_argument(
+        "--delay-ms", type=float, default=0.0,
+        help="extra delay injected on half the messages mid-run",
+    )
+    parser.add_argument(
+        "--churn", action="store_true",
+        help="crash/restart one non-anchor peer per session per ~minute",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="per-session backpressure cap: shed ticks past this many "
+             "unresolved updates (keeps over-capacity hosts latency-bounded)",
+    )
+    parser.add_argument(
+        "--settle-s", type=float, default=15.0,
+        help="budget for each post-workload settle phase",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=0,
+        help="realnet: port for the live /metrics endpoint (0 = any free)",
+    )
+    parser.add_argument(
+        "--record", metavar="PATH", help="write the JSON soak record here"
+    )
+    parser.add_argument(
+        "--metrics-snapshot", metavar="PATH",
+        help="write a Prometheus text snapshot here (live-scraped on realnet)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress progress output"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = SoakConfig(
+        backend=args.backend,
+        sessions=args.sessions,
+        peers=args.peers,
+        wall_s=args.wall_s,
+        seed=args.seed,
+        tick_ms=args.tick_ms,
+        drop=args.drop,
+        delay_ms=args.delay_ms,
+        churn=args.churn,
+        max_inflight=args.max_inflight,
+        settle_s=args.settle_s,
+        metrics_port=args.metrics_port,
+    )
+    say = (lambda msg: None) if args.quiet else (lambda msg: print(f"[soak] {msg}"))
+    record = run_soak(
+        config, metrics_snapshot_path=args.metrics_snapshot, progress=say
+    )
+
+    print(
+        f"[soak] {record['backend']}: {record['submitted']} submitted "
+        f"({record['shed']} shed), codes {record['codes']}, "
+        f"{record['wall_elapsed_s']:.1f}s wall"
+    )
+    if "metrics_url" in record:
+        print(f"[soak] metrics were live at {record['metrics_url']}")
+    if args.record:
+        write_record(record, args.record)
+        print(f"[soak] record -> {args.record}")
+    if args.metrics_snapshot:
+        print(f"[soak] metrics snapshot -> {args.metrics_snapshot}")
+    if record["violations"]:
+        print(f"[soak] {len(record['violations'])} violation(s):", file=sys.stderr)
+        for violation in record["violations"]:
+            print(f"[soak]   {violation}", file=sys.stderr)
+        return 1
+    print("[soak] all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -207,6 +207,71 @@ class TestHostContext:
         assert any("regression" in p and "cpus=2" in p for p in problems)
 
 
+class TestBackendAndPlacementContext:
+    """Satellite: records carry their transport backend; the gate
+    refuses cross-backend comparisons and surfaces placement drift."""
+
+    def test_run_context_includes_backend(self):
+        from repro.perf.runner import run_context
+
+        assert run_context({"backend": "simnet"}) == "backend=simnet"
+
+    def test_cross_backend_check_refused(self):
+        current = _record(w=_entry())
+        current["backend"] = "realnet"
+        baseline = _record(w=_entry())
+        baseline["backend"] = "simnet"
+        ok, problems, _ = check_against_baseline(current, baseline)
+        assert not ok
+        assert len(problems) == 1
+        assert "backend mismatch" in problems[0]
+        assert "'realnet'" in problems[0] and "'simnet'" in problems[0]
+
+    def test_missing_backend_defaults_to_simnet(self):
+        # Old baselines predate the tag; they gate against simnet runs.
+        current = _record(w=_entry())
+        current["backend"] = "simnet"
+        baseline = _record(w=_entry())
+        ok, problems, skipped = check_against_baseline(current, baseline)
+        assert ok and problems == [] and skipped == []
+
+    def test_executor_difference_warns_via_skipped(self):
+        current = _record(w=_entry())
+        current["executor"] = "parallel"
+        baseline = _record(w=_entry())
+        ok, problems, skipped = check_against_baseline(current, baseline)
+        assert ok and problems == []  # identical results: not a failure
+        assert any(
+            "executor differs" in s and "'parallel'" in s for s in skipped
+        )
+
+    def test_procs_difference_warns_via_skipped(self):
+        current = _record(w=_entry())
+        current["procs"] = 4
+        baseline = _record(w=_entry())
+        baseline["procs"] = 1
+        ok, problems, skipped = check_against_baseline(current, baseline)
+        assert ok and problems == []
+        assert any("procs differs" in s and "current=4" in s for s in skipped)
+
+    def test_matching_placement_emits_no_warning(self):
+        current = _record(w=_entry())
+        current["executor"], current["procs"] = "parallel", 4
+        baseline = _record(w=_entry())
+        baseline["executor"], baseline["procs"] = "parallel", 4
+        ok, problems, skipped = check_against_baseline(current, baseline)
+        assert ok and problems == [] and skipped == []
+
+    def test_run_suite_records_are_tagged(self):
+        from repro.perf.runner import run_suite
+
+        # An empty selection skips every workload but still builds the
+        # record envelope run_suite stamps.
+        record = run_suite(quick=True, only=[], verbose=False)
+        assert record["backend"] == "simnet"
+        assert record["workloads"] == {}
+
+
 class TestOverwriteGuard:
     """Satellite: the CLI refuses to clobber a full record with less."""
 

@@ -1,0 +1,124 @@
+"""Backend equivalence: one scripted session, two transports.
+
+The same 8-peer deployment code runs the same scripted counter session
+on the deterministic simnet and on real localhost sockets.  Wall-clock
+timestamps and therefore transaction ids differ by construction
+(DESIGN.md §15), so equivalence is checked at the level the spec pins:
+per-operation validation codes, final committed counter state, and
+full convergence of every peer within each backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blockchain.config import FabricConfig
+from repro.blockchain.network import BlockchainNetwork
+from repro.chaos.workload import ChaosCounterContract
+
+PEERS = 8
+
+# (function, args): arguments use distinct amounts so any lost,
+# duplicated or re-ordered *effect* shows up in the final counters.
+SCRIPT_INIT = [("init", ("a",)), ("init", ("b",)), ("init", ("c",))]
+SCRIPT_UPDATES = [
+    ("add", ("a", 7)),
+    ("add", ("b", 11)),
+    ("add", ("c", 13)),
+    ("add", ("a", 17)),
+    ("sub", ("b", 5)),
+    ("add", ("c", 19)),
+    ("sub", ("a", 3)),
+    ("add", ("b", 23)),
+    ("sub", ("c", 50)),  # exceeds 13+19: goes negative, CONTRACT_REJECTED
+    ("add", ("a", 31)),
+]
+
+
+def _drain(chain):
+    if chain.config.backend == "realnet":
+        chain.net.run_until_idle(max_wall_ms=30_000)
+    else:
+        chain.net.run_until_idle()
+
+
+def _run_session(backend: str):
+    config = FabricConfig(max_block_txs=1, backend=backend)
+    chain = BlockchainNetwork(PEERS, config=config, seed=11)
+    if backend == "realnet":
+        chain.net.start()
+    chain.install_contract(ChaosCounterContract)
+    client = chain.create_client("scripted")
+
+    codes = []
+    def record(result, latency_ms):
+        codes.append(result.code)
+
+    for function, args in SCRIPT_INIT:
+        client.invoke(
+            ChaosCounterContract.name, function, args,
+            touched_keys=(ChaosCounterContract.key(args[0]),),
+            on_complete=record,
+        )
+    _drain(chain)
+    for function, args in SCRIPT_UPDATES:
+        client.invoke(
+            ChaosCounterContract.name, function, args,
+            touched_keys=(ChaosCounterContract.key(args[0]),),
+            on_complete=record,
+        )
+    _drain(chain)
+
+    counters = {
+        name: chain.peers[0].ledger.state.get(ChaosCounterContract.key(name))
+        for name in ("a", "b", "c")
+    }
+    heights = {p.ledger.height for p in chain.peers}
+    state_hashes = {p.ledger.state_hash() for p in chain.peers}
+    chains_valid = all(p.ledger.validate_chain() for p in chain.peers)
+    if backend == "realnet":
+        chain.net.close()
+    return {
+        "codes": codes,
+        "counters": counters,
+        "heights": heights,
+        "state_hashes": state_hashes,
+        "chains_valid": chains_valid,
+        "synced": len({p.synced_height for p in chain.peers}) == 1,
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {b: _run_session(b) for b in ("simnet", "realnet")}
+
+
+def test_each_backend_converges(results):
+    for backend, r in results.items():
+        assert len(r["heights"]) == 1, backend
+        assert len(r["state_hashes"]) == 1, backend
+        assert r["chains_valid"], backend
+        assert r["synced"], backend
+
+
+def test_validation_codes_identical(results):
+    sim, real = results["simnet"]["codes"], results["realnet"]["codes"]
+    assert len(sim) == len(real) == len(SCRIPT_INIT) + len(SCRIPT_UPDATES)
+    assert sim == real
+    assert sim.count("CONTRACT_REJECTED") == 1  # the oversized sub
+
+
+def test_final_counters_identical(results):
+    assert results["simnet"]["counters"] == results["realnet"]["counters"]
+    # And both match the arithmetic of the committed-valid script.
+    assert results["simnet"]["counters"] == {
+        "a": 7 + 17 - 3 + 31,   # all four a-ops commit
+        "b": 11 - 5 + 23,       # all three b-ops commit
+        "c": 13 + 19,           # the oversized sub is rejected
+    }
+
+
+def test_committed_heights_identical(results):
+    # max_block_txs=1: every VALID or rejected-but-ordered tx is its own
+    # block, so both backends commit the same number of blocks.
+    assert results["simnet"]["heights"] == results["realnet"]["heights"]
